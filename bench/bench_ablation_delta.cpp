@@ -1,0 +1,74 @@
+// Ablation: sensitivity to the damage threshold Δ.
+//
+// An attack is an action whose performance damage exceeds Δ (Definition 1).
+// This bench runs the weighted greedy search on PBFT at several Δ values and
+// counts what qualifies: too small and borderline degradations flood the
+// report; too large and the paper's own Status attacks (≈12-20% damage)
+// disappear. The platform is deterministic, so there is no noise floor
+// forcing Δ upward — the tradeoff is purely about what a user wants flagged.
+#include <cstdio>
+
+#include "search/algorithms.h"
+#include "systems/pbft/pbft_scenario.h"
+
+namespace {
+
+using namespace turret;
+
+search::Scenario scenario(double delta, const wire::Schema& schema) {
+  auto sc = systems::pbft::make_pbft_scenario();
+  sc.schema = &schema;
+  sc.delta = delta;
+  sc.duration = 12 * kSecond;
+  sc.actions.delays = {kSecond};
+  sc.actions.duplicate_counts = {50};
+  sc.actions.lie_random = false;
+  return sc;
+}
+
+}  // namespace
+
+int main() {
+  // Pre-Prepare + Status: the surfaces with both strong and mild attacks.
+  const wire::Schema schema = wire::parse_schema(R"(
+protocol pbft;
+message PrePrepare = 2 {
+  u32   view;
+  u64   seq;
+  u32   primary;
+  i32   batch_size;
+  bytes digest;
+  bytes payload;
+}
+message Status = 7 {
+  u32   view;
+  u32   replica;
+  u64   last_exec;
+  u64   stable_seq;
+  i32   n_pending;
+}
+)");
+
+  std::printf("ABLATION: damage threshold Delta (PBFT, Pre-Prepare + Status "
+              "surface)\n\n");
+  std::printf("%-8s %10s %10s %10s %12s\n", "Delta", "attacks", "crashes",
+              "mild(<40%)", "search time");
+  std::printf("------------------------------------------------------\n");
+  for (double delta : {0.05, 0.10, 0.20, 0.40}) {
+    const auto res = search::weighted_greedy_search(scenario(delta, schema));
+    int crashes = 0, mild = 0;
+    for (const auto& a : res.attacks) {
+      if (a.effect == search::AttackEffect::kCrash) {
+        ++crashes;
+      } else if (a.damage < 0.4) {
+        ++mild;
+      }
+    }
+    std::printf("%-8.2f %10zu %10d %10d %12s\n", delta, res.attacks.size(),
+                crashes, mild, format_duration(res.cost.total()).c_str());
+  }
+  std::printf("\n  crash attacks are threshold-independent; Delta only "
+              "gates how mild a degradation\n  still counts — above ~0.2 the "
+              "paper's Status-protocol attacks vanish.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Ablation: sensitivity to the observation window w.
+//
+// The paper picks w = 6 s so the systems' 5 s recovery timers get a chance
+// to act before an action is judged (§V). This bench sweeps w for three
+// canonical PBFT actions and shows why: a small window cannot tell a
+// recoverable action (Drop Pre-Prepare 100%, view change at 5 s) from a
+// sustained one, and it inflates the damage of everything transient; a
+// large window costs linearly more search time.
+#include <cstdio>
+
+#include "search/executor.h"
+#include "systems/pbft/pbft_messages.h"
+#include "systems/pbft/pbft_scenario.h"
+
+namespace {
+
+using namespace turret;
+
+proxy::MaliciousAction make(proxy::ActionKind kind, double p, Duration d) {
+  proxy::MaliciousAction a;
+  a.target_tag = systems::pbft::kPrePrepare;
+  a.message_name = "PrePrepare";
+  a.kind = kind;
+  a.drop_probability = p;
+  a.delay = d;
+  return a;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("ABLATION: observation window w (PBFT, damage over the first "
+              "window / classified effect)\n\n");
+  std::printf("%-8s | %-26s | %-26s | %-26s\n", "w", "Delay Pre-Prepare 1s",
+              "Drop Pre-Prepare 50%", "Drop Pre-Prepare 100%");
+  std::printf("---------------------------------------------------------------"
+              "-----------------------------\n");
+
+  const auto delay1 = make(proxy::ActionKind::kDelay, 1.0, kSecond);
+  const auto drop50 = make(proxy::ActionKind::kDrop, 0.5, 0);
+  const auto drop100 = make(proxy::ActionKind::kDrop, 1.0, 0);
+
+  for (Duration w : {2 * kSecond, 4 * kSecond, 6 * kSecond, 10 * kSecond}) {
+    search::Scenario sc = systems::pbft::make_pbft_scenario();
+    sc.window = w;
+    sc.duration = 12 * kSecond;
+    search::BranchExecutor exec(sc);
+    const auto& points = exec.discover();
+    const search::BranchExecutor::InjectionPoint* pp = nullptr;
+    for (const auto& ip : points) {
+      if (ip.tag == systems::pbft::kPrePrepare) pp = &ip;
+    }
+    if (pp == nullptr) continue;
+    const auto base = exec.baseline(*pp);
+
+    auto cell = [&](const proxy::MaliciousAction& a) {
+      const auto out = exec.run_branch(*pp, &a, 2);
+      const double d1 = search::compute_damage(sc.metric, base, out.windows[0]);
+      const double d2 = search::compute_damage(sc.metric, base, out.windows[1]);
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%5.1f%% -> %s", d1 * 100.0,
+                    d2 > sc.delta ? "sustained" : "recovered");
+      return std::string(buf);
+    };
+
+    std::printf("%-8s | %-26s | %-26s | %-26s\n", format_duration(w).c_str(),
+                cell(delay1).c_str(), cell(drop50).c_str(),
+                cell(drop100).c_str());
+  }
+  std::printf("\n  w >= 6s lets the 5s view-change timer act inside the "
+              "window, separating recoverable\n  actions (drop-100%%) from "
+              "sustained attacks — the paper's rationale for w = 6 s.\n");
+  return 0;
+}

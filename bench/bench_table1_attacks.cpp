@@ -1,0 +1,221 @@
+// Table I: summary of attacks found using Turret across the five systems.
+//
+// Runs the weighted greedy search against PBFT, Steward, Zyzzyva, Prime and
+// Aardvark (two malicious placements each, as in the paper's methodology),
+// carrying learned cluster weights from one system to the next (preloading,
+// §III-B), and prints a consolidated attack summary. The paper found 30
+// attacks total: delivery attacks that degrade or halt, duplication DoS, and
+// lying attacks that crash benign replicas — with Prime and Aardvark's
+// defenses muting several classes.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "search/algorithms.h"
+#include "systems/aardvark/aardvark_scenario.h"
+#include "systems/pbft/pbft_scenario.h"
+#include "systems/prime/prime_scenario.h"
+#include "systems/steward/steward_scenario.h"
+#include "systems/zyzzyva/zyzzyva_scenario.h"
+
+namespace {
+
+using namespace turret;
+
+// Keep per-variant cost bounded: the representative action subset below
+// covers every attack class in Table I.
+void trim_actions(search::Scenario& sc) {
+  sc.actions.delays = {kSecond};
+  sc.actions.drop_probabilities = {0.5, 1.0};
+  sc.actions.duplicate_counts = {50};
+  sc.actions.divert = false;
+  sc.actions.lie_random = false;
+  sc.actions.relative_operands = {1000};
+  sc.duration = 15 * kSecond;
+}
+
+struct Finding {
+  std::string description;  ///< strongest variant in the group
+  search::AttackEffect effect;
+  double damage = 0;
+  int variants = 0;
+};
+
+/// Consolidation key: the paper names attacks at (action, message[, field])
+/// granularity — "Lie Pre-Prepare" is one row no matter how many lying
+/// strategies reproduce it.
+std::string group_key(const proxy::MaliciousAction& a) {
+  std::string key = std::string(proxy::action_kind_name(a.kind));
+  key += " " + a.message_name;
+  if (a.kind == proxy::ActionKind::kLie) key += "." + a.field_name;
+  if (a.kind == proxy::ActionKind::kDrop)
+    key += " " + std::to_string(static_cast<int>(a.drop_probability * 100)) + "%";
+  if (a.kind == proxy::ActionKind::kDelay)
+    key += " " + format_duration(a.delay);
+  if (a.kind == proxy::ActionKind::kDuplicate)
+    key += " " + std::to_string(a.copies);
+  return key;
+}
+
+double severity(const Finding& f) {
+  return f.effect == search::AttackEffect::kCrash ? 2.0 : f.damage;
+}
+
+void run_variant(const char* system, const char* variant, search::Scenario sc,
+                 search::ClusterWeights& weights,
+                 std::map<std::string, std::map<std::string, Finding>>& table) {
+  trim_actions(sc);
+  search::WeightedOptions opt;
+  opt.initial = weights;
+  const auto res = search::weighted_greedy_search(sc, opt, &weights);
+  std::fprintf(stderr, "  [%s/%s] baseline %.2f, %zu raw attacks, search %s\n",
+               system, variant, res.baseline_performance, res.attacks.size(),
+               format_duration(res.cost.total()).c_str());
+  for (const auto& a : res.attacks) {
+    Finding f{a.action.describe(), a.effect, a.damage, 1};
+    auto [it, fresh] = table[system].emplace(group_key(a.action), f);
+    if (!fresh) {
+      ++it->second.variants;
+      if (severity(f) > severity(it->second)) {
+        f.variants = it->second.variants;
+        it->second = f;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::map<std::string, std::map<std::string, Finding>> table;
+  // Learned cluster weights carry across systems (the paper's preloading).
+  search::ClusterWeights weights;
+
+  {
+    systems::pbft::PbftScenarioOptions o;
+    run_variant("PBFT", "malicious primary",
+                systems::pbft::make_pbft_scenario(o), weights, table);
+    o.malicious_primary = false;
+    run_variant("PBFT", "malicious backup",
+                systems::pbft::make_pbft_scenario(o), weights, table);
+    // The paper's 7-server configuration: a scheduled benign primary crash
+    // makes View-Change traffic flow so its lying attacks have injection
+    // points. Focus the schema on the recovery protocol.
+    static const wire::Schema recovery_schema = wire::parse_schema(R"(
+protocol pbft;
+message ViewChange = 8 {
+  u32   new_view;
+  u32   replica;
+  u64   stable_seq;
+  i32   n_prepared;
+  i32   n_checkpoints;
+  bytes proof;
+}
+message NewView = 9 {
+  u32   view;
+  u32   primary;
+  i32   n_view_changes;
+  bytes proof;
+}
+)");
+    systems::pbft::PbftScenarioOptions seven;
+    seven.n = 7;
+    seven.f = 2;
+    seven.malicious_primary = false;
+    seven.crash_primary_at = 3 * kSecond;
+    auto sc7 = systems::pbft::make_pbft_scenario(seven);
+    sc7.schema = &recovery_schema;
+    sc7.warmup = 4 * kSecond;
+    sc7.duration = 25 * kSecond;
+    run_variant("PBFT", "7 servers, view change", std::move(sc7), weights,
+                table);
+  }
+  {
+    systems::steward::StewardScenarioOptions o;
+    o.malicious = 4;  // remote-site representative
+    run_variant("Steward", "remote rep",
+                systems::steward::make_steward_scenario(o), weights, table);
+    o.malicious = 0;  // leader-site representative
+    run_variant("Steward", "leader rep",
+                systems::steward::make_steward_scenario(o), weights, table);
+  }
+  {
+    systems::zyzzyva::ZyzzyvaScenarioOptions o;
+    o.malicious_primary = false;
+    run_variant("Zyzzyva", "malicious backup",
+                systems::zyzzyva::make_zyzzyva_scenario(o), weights, table);
+    o.malicious_primary = true;
+    run_variant("Zyzzyva", "malicious primary",
+                systems::zyzzyva::make_zyzzyva_scenario(o), weights, table);
+  }
+  {
+    systems::prime::PrimeScenarioOptions o;
+    o.malicious_leader = false;
+    run_variant("Prime", "non-leader",
+                systems::prime::make_prime_scenario(o), weights, table);
+    o.malicious_leader = true;
+    run_variant("Prime", "leader",
+                systems::prime::make_prime_scenario(o), weights, table);
+  }
+  {
+    systems::aardvark::AardvarkScenarioOptions o;
+    run_variant("Aardvark", "malicious primary",
+                systems::aardvark::make_aardvark_scenario(o), weights, table);
+    o.malicious_primary = false;
+    run_variant("Aardvark", "malicious backup",
+                systems::aardvark::make_aardvark_scenario(o), weights, table);
+  }
+
+  std::printf("\nTABLE I. SUMMARY OF ATTACKS FOUND USING TURRET\n");
+  std::printf("(consolidated like the paper: one row per action/message/field;"
+              " weak transients the\n systems' own defenses absorb are "
+              "tallied separately)\n\n");
+  std::size_t total = 0, crashes = 0, muted_total = 0;
+  for (const char* system :
+       {"PBFT", "Steward", "Zyzzyva", "Prime", "Aardvark"}) {
+    const auto it = table.find(system);
+    if (it == table.end()) {
+      std::printf("%s (0 attacks)\n", system);
+      continue;
+    }
+    // A finding counts as a reportable attack if it crashes, halts, or does
+    // sustained/severe damage; recoverable blips under 25%% are the system's
+    // defenses working.
+    std::vector<const Finding*> strong;
+    std::size_t muted = 0;
+    for (const auto& [key, f] : it->second) {
+      const bool weak =
+          f.effect == search::AttackEffect::kTransient && f.damage < 0.25;
+      if (weak) {
+        ++muted;
+      } else {
+        strong.push_back(&f);
+      }
+    }
+    std::sort(strong.begin(), strong.end(),
+              [](const Finding* a, const Finding* b) {
+                return severity(*a) > severity(*b);
+              });
+    std::printf("%s (%zu attacks, %zu tolerated/transient variants)\n",
+                system, strong.size(), muted);
+    muted_total += muted;
+    for (const Finding* f : strong) {
+      ++total;
+      if (f->effect == search::AttackEffect::kCrash) {
+        ++crashes;
+        std::printf("  %-42s crash%s\n", f->description.c_str(),
+                    f->variants > 1 ? "  (+variants)" : "");
+      } else {
+        std::printf("  %-42s %-12s damage %4.0f%%\n", f->description.c_str(),
+                    std::string(attack_effect_name(f->effect)).c_str(),
+                    f->damage * 100.0);
+      }
+    }
+  }
+  std::printf("\nTotal consolidated attacks: %zu (%zu crash, %zu performance);"
+              " %zu tolerated variants\n",
+              total, crashes, total - crashes, muted_total);
+  std::printf("Paper: 30 attacks across the same five systems.\n");
+  return 0;
+}

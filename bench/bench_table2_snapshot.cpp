@@ -1,0 +1,178 @@
+// Table II: performance of save and load of VM snapshots — stock ("KVM with
+// max bandwidth") vs page-sharing-aware ("with shared snapshot"), for 5, 10
+// and 15 VMs; plus the §IV-C text numbers on KVM's default migration
+// bandwidth throttle.
+//
+// Paper (128 MiB VMs, real KVM): 5 VMs save 5.76 s → 3.44 s (-40.3%),
+// 10 VMs -34.5%, 15 VMs similar; load ≈ 0.038 s unchanged; default-bandwidth
+// save of 5 VMs took 15.24 s.
+//
+// Here each VM carries a scaled-down memory image (see vm::MemoryProfile,
+// documented in DESIGN.md); each guest runs the paper's measurement app — a
+// monotonically increasing sequence sender — so heap pages differ across VMs
+// while OS/application image pages are shared. Save/load go to real files.
+// The KSM scan happens before the timed region — as in the paper, where KSM
+// merges pages continuously while the VMs run and save only queries the
+// merge state. The paper's *shape*: a 30-45% time/size reduction that holds
+// as the fleet grows, small load times, and a default-bandwidth save
+// dominated by the throttle (computed from bytes at a scaled cap).
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+
+#include "common/rng.h"
+#include "vm/memory.h"
+#include "vm/snapshot.h"
+
+namespace {
+
+using namespace turret;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// The paper's guest app: sends an increasing sequence number with the
+// hostname every second. Its state is the counter plus socket buffers.
+Bytes sequence_sender_state(std::uint64_t vm_uid, std::uint64_t seq) {
+  serial::Writer w;
+  w.str("vm-" + std::to_string(vm_uid));  // hostname
+  w.u64(seq);
+  // Socket/heap noise unique to the VM's history.
+  Bytes buffers(256 * 1024);
+  Rng rng(vm_uid * 77 + seq);
+  for (auto& b : buffers) b = static_cast<std::uint8_t>(rng.next_u64());
+  w.bytes(buffers);
+  return w.take();
+}
+
+struct Row {
+  int vms;
+  double plain_save, plain_load, plain_mb;
+  double shared_save, shared_load, shared_mb;
+};
+
+Row run_fleet(int n) {
+  // 32 MiB images scaled from the paper's 128 MiB guests: 8192 pages of
+  // which ~5120 (OS+app image) are sharable across VMs.
+  vm::MemoryProfile profile;
+  profile.os_pages = 4096;
+  profile.app_pages = 1024;
+  profile.unique_pages = 2944;
+
+  std::vector<vm::MemoryImage> fleet(n);
+  for (int i = 0; i < n; ++i) {
+    fleet[i].materialize(profile, static_cast<std::uint64_t>(i + 1),
+                         sequence_sender_state(i + 1, 1000 + i));
+  }
+  std::vector<const vm::MemoryImage*> ptrs;
+  for (const auto& m : fleet) ptrs.push_back(&m);
+
+  const std::string dir = "/tmp/turret_bench_snapshots";
+  std::filesystem::remove_all(dir);
+  Row row{};
+  row.vms = n;
+
+  // One untimed warmup round per mode: first-touch page allocation in the
+  // filesystem cache would otherwise dominate whichever mode runs first.
+  {
+    vm::FileBlobStore store(dir + "/plain");
+    vm::SnapshotManager::save_plain(ptrs, store, "snap");
+    std::vector<vm::MemoryImage> restored(n);
+    std::vector<vm::MemoryImage*> rp;
+    for (auto& m : restored) rp.push_back(&m);
+    vm::SnapshotManager::load_plain(rp, store, "snap");
+  }
+  {
+    vm::FileBlobStore store(dir + "/shared");
+    vm::SnapshotManager::save_shared(ptrs, store, "snap");
+    std::vector<vm::MemoryImage> restored(n);
+    std::vector<vm::MemoryImage*> rp;
+    for (auto& m : restored) rp.push_back(&m);
+    vm::SnapshotManager::load_shared(rp, store, "snap");
+  }
+
+  const int kRepeats = 5;  // paper: numbers averaged over 5 executions
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    {
+      vm::FileBlobStore store(dir + "/plain");
+      auto t0 = Clock::now();
+      const auto rpt = vm::SnapshotManager::save_plain(ptrs, store, "snap");
+      row.plain_save += seconds_since(t0);
+      row.plain_mb = static_cast<double>(rpt.bytes_written) / 1e6;
+
+      std::vector<vm::MemoryImage> restored(n);
+      std::vector<vm::MemoryImage*> rp;
+      for (auto& m : restored) rp.push_back(&m);
+      t0 = Clock::now();
+      vm::SnapshotManager::load_plain(rp, store, "snap");
+      row.plain_load += seconds_since(t0);
+    }
+    {
+      vm::FileBlobStore store(dir + "/shared");
+      // KSM has been merging while the VMs ran; the scan is not save cost.
+      vm::KsmIndex ksm;
+      ksm.scan(ptrs);
+      auto t0 = Clock::now();
+      const auto rpt =
+          vm::SnapshotManager::save_shared(ptrs, ksm, store, "snap");
+      row.shared_save += seconds_since(t0);
+      row.shared_mb = static_cast<double>(rpt.bytes_written) / 1e6;
+
+      std::vector<vm::MemoryImage> restored(n);
+      std::vector<vm::MemoryImage*> rp;
+      for (auto& m : restored) rp.push_back(&m);
+      t0 = Clock::now();
+      vm::SnapshotManager::load_shared(rp, store, "snap");
+      row.shared_load += seconds_since(t0);
+    }
+  }
+  row.plain_save /= kRepeats;
+  row.plain_load /= kRepeats;
+  row.shared_save /= kRepeats;
+  row.shared_load /= kRepeats;
+  std::filesystem::remove_all(dir);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "TABLE II. PERFORMANCE OF SAVE AND LOAD SNAPSHOT OF VMs\n"
+      "(32 MiB scaled images; paper used 128 MiB KVM guests — shape: "
+      "save-time/size reduction, unchanged load)\n\n");
+  std::printf(
+      "%-6s | %26s | %26s | %s\n", "# VMs", "stock (max bandwidth)",
+      "with shared snapshot", "% reduced");
+  std::printf(
+      "%-6s | %8s %8s %8s | %8s %8s %8s | %5s %5s\n", "", "save(s)", "load(s)",
+      "size MB", "save(s)", "load(s)", "size MB", "save", "size");
+  std::printf("------------------------------------------------------------");
+  std::printf("-------------------------\n");
+
+  for (int n : {5, 10, 15}) {
+    const Row r = run_fleet(n);
+    std::printf(
+        "%-6d | %8.3f %8.4f %8.1f | %8.3f %8.4f %8.1f | %4.1f%% %4.1f%%\n",
+        r.vms, r.plain_save, r.plain_load, r.plain_mb, r.shared_save,
+        r.shared_load, r.shared_mb,
+        100.0 * (1.0 - r.shared_save / r.plain_save),
+        100.0 * (1.0 - r.shared_mb / r.plain_mb));
+  }
+
+  // §IV-C text numbers: KVM's default migration bandwidth throttle dominates
+  // an unshared save. We model the throttle as a byte-rate cap and report the
+  // implied time next to the measured unthrottled one.
+  const Row r5 = run_fleet(5);
+  const double throttle_mb_per_s = 55.0;  // scaled analog of KVM's default cap
+  std::printf(
+      "\nDefault-bandwidth save, 5 VMs (paper: 15.24 s vs 5.76 s max-bw vs "
+      "3.44 s shared):\n");
+  std::printf("  throttled (computed at %.0f MB/s): %6.2f s\n",
+              throttle_mb_per_s, r5.plain_mb / throttle_mb_per_s);
+  std::printf("  max bandwidth (measured):          %6.2f s\n", r5.plain_save);
+  std::printf("  shared snapshot (measured):        %6.2f s\n", r5.shared_save);
+  return 0;
+}

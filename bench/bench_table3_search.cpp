@@ -1,0 +1,113 @@
+// Table III: time to find each PBFT attack — greedy vs weighted greedy.
+//
+// Paper: greedy 1144–18194 s per attack; weighted greedy 43.6–2552 s,
+// 76.8–99.4% faster, finding identical attacks. Times are the execution time
+// consumed by the search (the platform runs in real time in the paper; here
+// the same quantity is emulated seconds, including charged snapshot costs).
+//
+// Like the paper's table, the search targets the message types whose attacks
+// Table I reports (Pre-Prepare, Prepare, Commit, Status): Turret is given a
+// format description for those messages. Greedy is bounded to 4
+// find-strongest/exclude/repeat passes (its cost per repetition is the
+// point).
+#include <cstdio>
+#include <map>
+
+#include "search/algorithms.h"
+#include "systems/pbft/pbft_scenario.h"
+
+namespace {
+
+using namespace turret;
+
+// The schema subset handed to Turret for this experiment.
+constexpr char kFocusSchema[] = R"(
+protocol pbft;
+message PrePrepare = 2 {
+  u32   view;
+  u64   seq;
+  u32   primary;
+  i32   batch_size;
+  bytes digest;
+  bytes payload;
+}
+message Prepare = 3 {
+  u32   view;
+  u64   seq;
+  u32   replica;
+  bytes digest;
+}
+message Commit = 4 {
+  u32   view;
+  u64   seq;
+  u32   replica;
+  bytes digest;
+}
+message Status = 7 {
+  u32   view;
+  u32   replica;
+  u64   last_exec;
+  u64   stable_seq;
+  i32   n_pending;
+}
+)";
+
+search::Scenario scenario(const wire::Schema& schema) {
+  auto sc = systems::pbft::make_pbft_scenario();
+  sc.schema = &schema;
+  sc.duration = 15 * kSecond;
+  sc.actions.lie_random = false;  // Table III lists no random-lie rows
+  return sc;
+}
+
+std::string attack_group(const search::AttackReport& a) {
+  // Group per (action kind + message + field) the way Table I/III names
+  // attacks; parameter variants (e.g. Delay 1s vs 5s) stay distinct.
+  return a.action.describe();
+}
+
+}  // namespace
+
+int main() {
+  const wire::Schema schema = wire::parse_schema(kFocusSchema);
+
+  std::printf("Running weighted greedy search on PBFT...\n");
+  const search::SearchResult weighted =
+      search::weighted_greedy_search(scenario(schema));
+  std::printf("  -> %zu attacks, %s total\n", weighted.attacks.size(),
+              format_duration(weighted.cost.total()).c_str());
+
+  std::printf("Running greedy search on PBFT (4 repetitions)...\n");
+  search::GreedyOptions gopt;
+  gopt.confirmations = 2;
+  gopt.max_repetitions = 4;
+  const search::SearchResult greedy = search::greedy_search(scenario(schema), gopt);
+  std::printf("  -> %zu attacks, %s total\n\n", greedy.attacks.size(),
+              format_duration(greedy.cost.total()).c_str());
+
+  std::map<std::string, Duration> weighted_times;
+  for (const auto& a : weighted.attacks)
+    weighted_times.emplace(attack_group(a), a.found_after);
+
+  std::printf(
+      "TABLE III. PERFORMANCE OF THE WEIGHTED GREEDY AND THE GREEDY "
+      "ALGORITHM\n(time to find each attack, emulated seconds)\n\n");
+  std::printf("%-36s %12s %12s %10s\n", "Attack name", "Greedy (s)",
+              "Weighted (s)", "% reduced");
+  std::printf(
+      "------------------------------------------------------------"
+      "------------\n");
+  for (const auto& a : greedy.attacks) {
+    const auto it = weighted_times.find(attack_group(a));
+    if (it == weighted_times.end()) continue;
+    const double g = static_cast<double>(a.found_after) / kSecond;
+    const double w = static_cast<double>(it->second) / kSecond;
+    std::printf("%-36s %12.1f %12.1f %9.1f%%\n", attack_group(a).c_str(), g, w,
+                100.0 * (1.0 - w / g));
+  }
+
+  std::printf("\nAttacks weighted greedy found beyond greedy's repetition "
+              "budget: %zu\n",
+              weighted.attacks.size() - greedy.attacks.size());
+  return 0;
+}

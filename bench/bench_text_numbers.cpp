@@ -1,0 +1,184 @@
+// §V-C text numbers: the per-system measurements the paper reports in prose
+// for Steward, Zyzzyva, Prime and Aardvark.
+//
+//   Steward : 19.6 → 0.9 ups (Delay Pre-Prepare 1 s), Drop Accept → 0.4 ups
+//             with no view change (fault masking), duplication DoS → 0.27 ups.
+//   Zyzzyva : latency min/avg/max 3.90/3.95/4.02 ms benign →
+//             3.95/5.32/5.40 ms when one node drops 50% of its SpecReplies.
+//   Prime   : dropping PO-Summary halts progress although a quorum exists;
+//             a sequence-number lie stalls ordering without ever triggering
+//             the suspect-leader protocol.
+//   Aardvark: Delay Status slows the system; flooding protection mutes the
+//             attack when the delay (and every flood) grows too big.
+#include <cstdio>
+
+#include "proxy/proxy.h"
+#include "search/executor.h"
+#include "systems/aardvark/aardvark_messages.h"
+#include "systems/aardvark/aardvark_scenario.h"
+#include "systems/prime/prime_messages.h"
+#include "systems/prime/prime_replica.h"
+#include "systems/prime/prime_scenario.h"
+#include "systems/steward/steward_messages.h"
+#include "systems/steward/steward_scenario.h"
+#include "systems/zyzzyva/zyzzyva_messages.h"
+#include "systems/zyzzyva/zyzzyva_scenario.h"
+
+namespace {
+
+using namespace turret;
+
+proxy::MaliciousAction act(wire::TypeTag tag, proxy::ActionKind kind,
+                           double p = 1.0, Duration delay = 0,
+                           std::uint32_t copies = 0) {
+  proxy::MaliciousAction a;
+  a.target_tag = tag;
+  a.kind = kind;
+  a.drop_probability = p;
+  a.delay = delay;
+  a.copies = copies;
+  return a;
+}
+
+double rate(const search::Scenario& sc, const proxy::MaliciousAction* a,
+            Duration run, Time t0) {
+  auto w = search::make_scenario_world(sc);
+  if (a != nullptr) w.proxy->arm(*a);
+  w.testbed->start();
+  w.testbed->run_for(run);
+  return w.testbed->metrics().rate("updates", t0, run);
+}
+
+}  // namespace
+
+int main() {
+  // ----- Steward -----------------------------------------------------------
+  {
+    using namespace systems::steward;
+    std::printf("STEWARD (paper: benign 19.6, delay pre-prepare 0.9, drop "
+                "accept 0.4 with no view change, dup DoS 0.27 ups)\n");
+    const auto sc_remote = make_steward_scenario();  // malicious replica 4
+    StewardScenarioOptions leader;
+    leader.malicious = 0;
+    const auto sc_leader = make_steward_scenario(leader);
+
+    std::printf("  %-34s %8.2f\n", "benign",
+                rate(sc_remote, nullptr, 25 * kSecond, 5 * kSecond));
+    const auto delay_pp =
+        act(kLocalPrePrepare, proxy::ActionKind::kDelay, 1.0, kSecond);
+    std::printf("  %-34s %8.2f\n", "Delay Pre-Prepare 1s (leader rep)",
+                rate(sc_leader, &delay_pp, 30 * kSecond, 5 * kSecond));
+    const auto drop_accept = act(kAccept, proxy::ActionKind::kDrop, 1.0);
+    {
+      auto w = search::make_scenario_world(sc_remote);
+      w.proxy->arm(drop_accept);
+      w.testbed->start();
+      w.testbed->run_for(30 * kSecond);
+      const double r =
+          w.testbed->metrics().rate("updates", 5 * kSecond, 30 * kSecond);
+      auto& replica = dynamic_cast<StewardReplica&>(w.testbed->machine(5).guest());
+      std::printf("  %-34s %8.2f  (local view still %u: masked, no recovery)\n",
+                  "Drop Accept 100% (remote rep)", r, replica.local_view());
+    }
+    const auto dup_ccs = act(kCCSUnion, proxy::ActionKind::kDuplicate, 1.0, 0, 50);
+    std::printf("  %-34s %8.2f\n", "Dup CCSUnion 50 (remote rep)",
+                rate(sc_remote, &dup_ccs, 30 * kSecond, 5 * kSecond));
+  }
+
+  // ----- Zyzzyva -----------------------------------------------------------
+  {
+    using namespace systems::zyzzyva;
+    std::printf("\nZYZZYVA (paper: benign 3.90/3.95/4.02 ms -> drop reply "
+                "3.95/5.32/5.40 ms min/avg/max)\n");
+    const auto sc = make_zyzzyva_scenario();  // malicious backup, replica 3
+    auto lat = [&](const proxy::MaliciousAction* a) {
+      auto w = search::make_scenario_world(sc);
+      if (a != nullptr) w.proxy->arm(*a);
+      w.testbed->start();
+      w.testbed->run_for(15 * kSecond);
+      return w.testbed->metrics().summary("latency_ms", 3 * kSecond, 15 * kSecond);
+    };
+    const auto benign = lat(nullptr);
+    std::printf("  %-34s %5.2f / %5.2f / %5.2f ms\n", "benign", benign.min,
+                benign.mean(), benign.max);
+    const auto drop50 = act(kSpecReply, proxy::ActionKind::kDrop, 0.5);
+    const auto d50 = lat(&drop50);
+    std::printf("  %-34s %5.2f / %5.2f / %5.2f ms\n", "Drop SpecReply 50%",
+                d50.min, d50.mean(), d50.max);
+    const auto drop100 = act(kSpecReply, proxy::ActionKind::kDrop, 1.0);
+    const auto d100 = lat(&drop100);
+    std::printf("  %-34s %5.2f / %5.2f / %5.2f ms\n", "Drop SpecReply 100%",
+                d100.min, d100.mean(), d100.max);
+  }
+
+  // ----- Prime -------------------------------------------------------------
+  {
+    using namespace systems::prime;
+    std::printf("\nPRIME (paper: drop PO-Summary halts progress; seq lie "
+                "stalls ordering without suspect-leader)\n");
+    const auto sc = make_prime_scenario();  // malicious non-leader
+    std::printf("  %-34s %8.2f\n", "benign",
+                rate(sc, nullptr, 15 * kSecond, 3 * kSecond));
+    const auto drop_summary = act(kPOSummary, proxy::ActionKind::kDrop, 1.0);
+    std::printf("  %-34s %8.2f  (halt: eligibility wants ALL n summaries)\n",
+                "Drop PO-Summary 100%",
+                rate(sc, &drop_summary, 15 * kSecond, 5 * kSecond));
+
+    PrimeScenarioOptions leader;
+    leader.malicious_leader = true;
+    const auto scl = make_prime_scenario(leader);
+    proxy::MaliciousAction lie;
+    lie.target_tag = kPrePrepare;
+    lie.kind = proxy::ActionKind::kLie;
+    lie.field_index = 1;  // seq
+    lie.field_name = "seq";
+    lie.strategy = proxy::LieStrategy::kAdd;
+    lie.operand = 1000;
+    {
+      auto w = search::make_scenario_world(scl);
+      w.proxy->arm(lie);
+      w.testbed->start();
+      w.testbed->run_for(15 * kSecond);
+      const double r = w.testbed->metrics().rate("updates", 5 * kSecond, 15 * kSecond);
+      auto& rep = dynamic_cast<PrimeReplica&>(w.testbed->machine(2).guest());
+      std::printf("  %-34s %8.2f  (view still %u: suspect-leader never fired)\n",
+                  "Lie Pre-Prepare.seq add(1000)", r, rep.view());
+    }
+    const auto drop_pp = act(kPrePrepare, proxy::ActionKind::kDrop, 1.0);
+    {
+      auto w = search::make_scenario_world(scl);
+      w.proxy->arm(drop_pp);
+      w.testbed->start();
+      w.testbed->run_for(15 * kSecond);
+      const double r = w.testbed->metrics().rate("updates", 8 * kSecond, 15 * kSecond);
+      auto& rep = dynamic_cast<PrimeReplica&>(w.testbed->machine(2).guest());
+      std::printf("  %-34s %8.2f  (view %u: silent leader was evicted)\n",
+                  "Drop Pre-Prepare 100% (defense)", r, rep.view());
+    }
+  }
+
+  // ----- Aardvark ----------------------------------------------------------
+  {
+    using namespace systems::aardvark;
+    std::printf("\nAARDVARK (paper: delay status slows the system; flooding "
+                "protection mutes larger attacks)\n");
+    AardvarkScenarioOptions backup;
+    backup.malicious_primary = false;
+    const auto sc = make_aardvark_scenario(backup);
+    std::printf("  %-34s %8.2f\n", "benign",
+                rate(sc, nullptr, 15 * kSecond, 3 * kSecond));
+    const auto delay1 = act(kStatus, proxy::ActionKind::kDelay, 1.0, kSecond);
+    std::printf("  %-34s %8.2f\n", "Delay Status 1s",
+                rate(sc, &delay1, 15 * kSecond, 3 * kSecond));
+    const auto delay5 = act(kStatus, proxy::ActionKind::kDelay, 1.0, 5 * kSecond);
+    std::printf("  %-34s %8.2f  (muted: beyond the gap limit)\n",
+                "Delay Status 5s",
+                rate(sc, &delay5, 20 * kSecond, 8 * kSecond));
+    const auto dup = act(kPrePrepare, proxy::ActionKind::kDuplicate, 1.0, 0, 50);
+    const auto sc_primary = make_aardvark_scenario();
+    std::printf("  %-34s %8.2f  (muted: flooding protection)\n",
+                "Dup Pre-Prepare 50",
+                rate(sc_primary, &dup, 15 * kSecond, 3 * kSecond));
+  }
+  return 0;
+}

@@ -1,0 +1,289 @@
+// Byzantine Generals under Turret — one of the paper's §V-D class
+// assignments.
+//
+// Lamport's OM(1) with n = 4 (commander + 3 lieutenants, tolerating one
+// traitor): each round the commander broadcasts an order; every lieutenant
+// relays the order it received to its peers and decides by majority over
+// {commander's order, relayed orders}. The driver (node 4) starts a round
+// every 50 ms and checks agreement: all loyal lieutenants deciding the same
+// order counts one "updates" completion; a disagreement increments the
+// "disagreements" metric.
+//
+// With a traitor lieutenant, OM(1) should still reach agreement — and
+// Turret confirms delivery attacks only slow rounds down; but it also finds
+// that the traitor lying about the order field is *handled* (majority wins),
+// while dropping relays delays decisions to the round timeout.
+#include <cstdio>
+#include <map>
+
+#include "search/algorithms.h"
+
+using namespace turret;
+
+namespace {
+
+constexpr char kSchema[] = R"(
+protocol generals;
+message Order = 1 {
+  u64 round;
+  u8  attack;     # 1 = attack, 0 = retreat
+}
+message Relay = 2 {
+  u64 round;
+  u8  attack;
+  u32 lieutenant;
+}
+message Decision = 3 {
+  u64 round;
+  u8  attack;
+  u32 lieutenant;
+}
+message StartRound = 4 {
+  u64 round;
+  u8  attack;
+}
+)";
+
+enum Tag : wire::TypeTag { kOrder = 1, kRelay = 2, kDecision = 3, kStart = 4 };
+
+constexpr NodeId kCommander = 0;
+constexpr NodeId kDriver = 4;
+constexpr NodeId kLieutenants[] = {1, 2, 3};
+
+class Commander final : public vm::GuestNode {
+ public:
+  void start(vm::GuestContext&) override {}
+  void on_message(vm::GuestContext& ctx, NodeId, BytesView msg) override {
+    wire::MessageReader r(msg);
+    if (r.tag() != kStart) return;
+    const std::uint64_t round = r.u64();
+    const std::uint8_t attack = r.u8();
+    for (NodeId l : kLieutenants)
+      ctx.send(l, wire::MessageWriter(kOrder).u64(round).u8(attack).take());
+  }
+  void on_timer(vm::GuestContext&, std::uint64_t) override {}
+  void save(serial::Writer&) const override {}
+  void load(serial::Reader&) override {}
+  std::string_view kind() const override { return "commander"; }
+};
+
+class Lieutenant final : public vm::GuestNode {
+ public:
+  void start(vm::GuestContext&) override {}
+
+  void on_message(vm::GuestContext& ctx, NodeId src, BytesView msg) override {
+    wire::MessageReader r(msg);
+    if (r.tag() == kOrder && src == kCommander) {
+      const std::uint64_t round = r.u64();
+      const std::uint8_t attack = r.u8();
+      auto& st = rounds_[round];
+      st.commander_order = attack;
+      st.have_order = true;
+      for (NodeId l : kLieutenants) {
+        if (l == ctx.self()) continue;
+        ctx.send(l, wire::MessageWriter(kRelay)
+                        .u64(round)
+                        .u8(attack)
+                        .u32(ctx.self())
+                        .take());
+      }
+      maybe_decide(ctx, round);
+    } else if (r.tag() == kRelay) {
+      const std::uint64_t round = r.u64();
+      const std::uint8_t attack = r.u8();
+      const std::uint32_t from = r.u32();
+      auto& st = rounds_[round];
+      st.relayed[from] = attack;
+      maybe_decide(ctx, round);
+    }
+  }
+
+  void on_timer(vm::GuestContext& ctx, std::uint64_t round) override {
+    decide(ctx, round);  // round timeout: decide with whatever we have
+  }
+
+  void save(serial::Writer& w) const override {
+    w.u32(static_cast<std::uint32_t>(rounds_.size()));
+    for (const auto& [round, st] : rounds_) {
+      w.u64(round);
+      w.u8(st.commander_order);
+      w.boolean(st.have_order);
+      w.boolean(st.decided);
+      w.u32(static_cast<std::uint32_t>(st.relayed.size()));
+      for (const auto& [from, v] : st.relayed) {
+        w.u32(from);
+        w.u8(v);
+      }
+    }
+  }
+  void load(serial::Reader& r) override {
+    rounds_.clear();
+    const std::uint32_t n = r.u32();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const std::uint64_t round = r.u64();
+      RoundState st;
+      st.commander_order = r.u8();
+      st.have_order = r.boolean();
+      st.decided = r.boolean();
+      const std::uint32_t nr = r.u32();
+      for (std::uint32_t j = 0; j < nr; ++j) {
+        const std::uint32_t from = r.u32();
+        st.relayed[from] = r.u8();
+      }
+      rounds_.emplace(round, std::move(st));
+    }
+  }
+  std::string_view kind() const override { return "lieutenant"; }
+
+ private:
+  struct RoundState {
+    std::uint8_t commander_order = 0;
+    bool have_order = false;
+    bool decided = false;
+    std::map<std::uint32_t, std::uint8_t> relayed;
+  };
+
+  void maybe_decide(vm::GuestContext& ctx, std::uint64_t round) {
+    auto& st = rounds_[round];
+    if (st.decided) return;
+    if (st.have_order && st.relayed.size() >= 2) {
+      decide(ctx, round);
+    } else if (st.have_order || !st.relayed.empty()) {
+      // Arm the round timeout once we know the round exists.
+      ctx.set_timer(round, 200 * kMillisecond);
+    }
+  }
+
+  void decide(vm::GuestContext& ctx, std::uint64_t round) {
+    auto& st = rounds_[round];
+    if (st.decided) return;
+    st.decided = true;
+    ctx.cancel_timer(round);
+    // Majority over the commander's order and the relays (OM(1)).
+    int votes[2] = {0, 0};
+    if (st.have_order) ++votes[st.commander_order & 1];
+    for (const auto& [from, v] : st.relayed) ++votes[v & 1];
+    const std::uint8_t decision = votes[1] >= votes[0] ? 1 : 0;
+    ctx.send(kDriver, wire::MessageWriter(kDecision)
+                          .u64(round)
+                          .u8(decision)
+                          .u32(ctx.self())
+                          .take());
+    rounds_.erase(rounds_.begin(), rounds_.lower_bound(round > 4 ? round - 4 : 0));
+  }
+
+  std::map<std::uint64_t, RoundState> rounds_;
+};
+
+class Driver final : public vm::GuestNode {
+ public:
+  void start(vm::GuestContext& ctx) override { ctx.set_timer(1, 50 * kMillisecond); }
+
+  void on_message(vm::GuestContext& ctx, NodeId, BytesView msg) override {
+    wire::MessageReader r(msg);
+    if (r.tag() != kDecision) return;
+    const std::uint64_t round = r.u64();
+    const std::uint8_t attack = r.u8();
+    const std::uint32_t lt = r.u32();
+    auto& votes = decisions_[round];
+    votes[lt] = attack;
+    if (votes.size() == 3) {
+      bool agree = true;
+      for (const auto& [_, v] : votes) agree &= (v == votes.begin()->second);
+      if (agree) {
+        ctx.count("updates");
+      } else {
+        ctx.count("disagreements");
+      }
+      decisions_.erase(round);
+    }
+  }
+
+  void on_timer(vm::GuestContext& ctx, std::uint64_t) override {
+    const std::uint8_t attack = static_cast<std::uint8_t>(round_ & 1);
+    ctx.send(kCommander,
+             wire::MessageWriter(kStart).u64(++round_).u8(attack).take());
+    ctx.set_timer(1, 50 * kMillisecond);
+  }
+
+  void save(serial::Writer& w) const override {
+    w.u64(round_);
+    w.u32(static_cast<std::uint32_t>(decisions_.size()));
+    for (const auto& [round, votes] : decisions_) {
+      w.u64(round);
+      w.u32(static_cast<std::uint32_t>(votes.size()));
+      for (const auto& [lt, v] : votes) {
+        w.u32(lt);
+        w.u8(v);
+      }
+    }
+  }
+  void load(serial::Reader& r) override {
+    round_ = r.u64();
+    decisions_.clear();
+    const std::uint32_t n = r.u32();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const std::uint64_t round = r.u64();
+      auto& votes = decisions_[round];
+      const std::uint32_t nv = r.u32();
+      for (std::uint32_t j = 0; j < nv; ++j) {
+        const std::uint32_t lt = r.u32();
+        votes[lt] = r.u8();
+      }
+    }
+  }
+  std::string_view kind() const override { return "driver"; }
+
+ private:
+  std::uint64_t round_ = 0;
+  std::map<std::uint64_t, std::map<std::uint32_t, std::uint8_t>> decisions_;
+};
+
+}  // namespace
+
+int main() {
+  const wire::Schema schema = wire::parse_schema(kSchema);
+
+  search::Scenario sc;
+  sc.system_name = "byzantine-generals";
+  sc.schema = &schema;
+  sc.testbed.net.nodes = 5;
+  sc.testbed.net.default_link.delay = kMillisecond;
+  sc.factory = [](NodeId id) -> std::unique_ptr<vm::GuestNode> {
+    if (id == kCommander) return std::make_unique<Commander>();
+    if (id == kDriver) return std::make_unique<Driver>();
+    return std::make_unique<Lieutenant>();
+  };
+  sc.malicious = {2};  // one traitor lieutenant (OM(1) must tolerate it)
+  sc.metric.name = "updates";
+  sc.warmup = kSecond;
+  sc.duration = 8 * kSecond;
+  sc.window = 3 * kSecond;
+  sc.actions.delays = {kSecond};
+  sc.actions.duplicate_counts = {50};
+
+  std::printf("Searching for attacks in Byzantine Generals OM(1), traitor "
+              "lieutenant 2...\n\n");
+  const auto res = search::weighted_greedy_search(sc);
+  std::printf("baseline: %.1f agreed rounds/sec\n%s\n",
+              res.baseline_performance, res.summary().c_str());
+
+  // Agreement safety check: a lying traitor must not split the loyal
+  // lieutenants (the assignment's correctness property).
+  auto w = search::make_scenario_world(sc);
+  proxy::MaliciousAction lie;
+  lie.target_tag = kRelay;
+  lie.kind = proxy::ActionKind::kLie;
+  lie.field_index = 1;  // attack bit
+  lie.field_name = "attack";
+  lie.strategy = proxy::LieStrategy::kFlip;
+  w.proxy->arm(lie);
+  w.testbed->start();
+  w.testbed->run_for(10 * kSecond);
+  const double agreements = w.testbed->metrics().total("updates", 0, 10 * kSecond);
+  const double splits = w.testbed->metrics().total("disagreements", 0, 10 * kSecond);
+  std::printf("\nlying traitor: %.0f agreed rounds, %.0f disagreements "
+              "(OM(1) holds: majority masks the lie)\n",
+              agreements, splits);
+  return 0;
+}

@@ -1,0 +1,301 @@
+// Paxos under Turret — one of the paper's §V-D class assignments.
+//
+// A multi-decree Paxos: a distinguished proposer (node 0) runs Phase 1 once
+// to become leader, then streams Phase 2 (Accept) rounds, one value per
+// slot, against three acceptors; a closed-loop client (node 4) submits the
+// values and counts decisions. A rival proposer timer on the acceptors'
+// side is omitted — recovery is the client's retry driving a new ballot.
+//
+// Turret (weighted greedy) finds the classic liveness attacks without being
+// told anything about Paxos: dropping or delaying Promise/Accepted messages
+// from a malicious acceptor stalls quorums, and lying on the ballot field
+// makes the leader's ballot stale, forcing endless re-elections.
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "search/algorithms.h"
+
+using namespace turret;
+
+namespace {
+
+constexpr char kSchema[] = R"(
+protocol paxos;
+message Submit = 1 {
+  u64   value;
+}
+message Prepare = 2 {
+  u64   ballot;
+}
+message Promise = 3 {
+  u64   ballot;
+  u64   accepted_ballot;
+  u64   accepted_value;
+  u32   acceptor;
+}
+message Accept = 4 {
+  u64   ballot;
+  u64   slot;
+  u64   value;
+}
+message Accepted = 5 {
+  u64   ballot;
+  u64   slot;
+  u32   acceptor;
+}
+message Decide = 6 {
+  u64   slot;
+  u64   value;
+}
+)";
+
+enum Tag : wire::TypeTag {
+  kSubmit = 1,
+  kPrepare = 2,
+  kPromise = 3,
+  kAccept = 4,
+  kAccepted = 5,
+  kDecide = 6,
+};
+
+constexpr NodeId kProposer = 0;
+constexpr NodeId kClient = 4;
+constexpr std::uint32_t kAcceptors = 3;  // nodes 1..3, quorum 2
+
+class Proposer final : public vm::GuestNode {
+ public:
+  void start(vm::GuestContext& ctx) override { elect(ctx); }
+
+  void on_message(vm::GuestContext& ctx, NodeId /*src*/, BytesView msg) override {
+    wire::MessageReader r(msg);
+    switch (r.tag()) {
+      case kSubmit: {
+        const std::uint64_t value = r.u64();
+        pending_.push_back(value);
+        drive(ctx);
+        break;
+      }
+      case kPromise: {
+        const std::uint64_t ballot = r.u64();
+        r.u64();  // accepted_ballot (no-op for fresh slots)
+        r.u64();  // accepted_value
+        const std::uint32_t acceptor = r.u32();
+        if (ballot != ballot_ || leader_) return;
+        promises_.insert(acceptor);
+        if (promises_.size() >= 2) {  // quorum of 3 acceptors
+          leader_ = true;
+          drive(ctx);
+        }
+        break;
+      }
+      case kAccepted: {
+        const std::uint64_t ballot = r.u64();
+        const std::uint64_t slot = r.u64();
+        const std::uint32_t acceptor = r.u32();
+        if (ballot != ballot_ || slot != slot_) return;
+        accepts_.insert(acceptor);
+        if (accepts_.size() >= 2 && in_flight_) {
+          in_flight_ = false;
+          for (NodeId a = 1; a <= kAcceptors; ++a)
+            ctx.send(a, wire::MessageWriter(kDecide).u64(slot_).u64(value_).take());
+          ctx.send(kClient, wire::MessageWriter(kDecide).u64(slot_).u64(value_).take());
+          ++slot_;
+          drive(ctx);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  void on_timer(vm::GuestContext& ctx, std::uint64_t) override {
+    // Election/round timeout: try again with a bigger ballot.
+    if (!leader_ || in_flight_) elect(ctx);
+  }
+
+  void save(serial::Writer& w) const override {
+    w.u64(ballot_);
+    w.u64(slot_);
+    w.u64(value_);
+    w.boolean(leader_);
+    w.boolean(in_flight_);
+    w.vec(pending_, [](serial::Writer& ww, std::uint64_t v) { ww.u64(v); });
+    w.u32(static_cast<std::uint32_t>(promises_.size()));
+    for (auto p : promises_) w.u32(p);
+    w.u32(static_cast<std::uint32_t>(accepts_.size()));
+    for (auto a : accepts_) w.u32(a);
+  }
+  void load(serial::Reader& r) override {
+    ballot_ = r.u64();
+    slot_ = r.u64();
+    value_ = r.u64();
+    leader_ = r.boolean();
+    in_flight_ = r.boolean();
+    pending_ = r.vec<std::uint64_t>([](serial::Reader& rr) { return rr.u64(); });
+    promises_.clear();
+    const std::uint32_t np = r.u32();
+    for (std::uint32_t i = 0; i < np; ++i) promises_.insert(r.u32());
+    accepts_.clear();
+    const std::uint32_t na = r.u32();
+    for (std::uint32_t i = 0; i < na; ++i) accepts_.insert(r.u32());
+  }
+  std::string_view kind() const override { return "paxos-proposer"; }
+
+ private:
+  void elect(vm::GuestContext& ctx) {
+    ballot_ += 1 + ctx.self();
+    leader_ = false;
+    promises_.clear();
+    for (NodeId a = 1; a <= kAcceptors; ++a)
+      ctx.send(a, wire::MessageWriter(kPrepare).u64(ballot_).take());
+    ctx.set_timer(1, 2 * kSecond);
+  }
+
+  void drive(vm::GuestContext& ctx) {
+    if (!leader_ || in_flight_ || pending_.empty()) return;
+    value_ = pending_.front();
+    pending_.erase(pending_.begin());
+    accepts_.clear();
+    in_flight_ = true;
+    for (NodeId a = 1; a <= kAcceptors; ++a) {
+      ctx.send(a, wire::MessageWriter(kAccept)
+                      .u64(ballot_)
+                      .u64(slot_)
+                      .u64(value_)
+                      .take());
+    }
+    ctx.set_timer(1, 2 * kSecond);
+  }
+
+  std::uint64_t ballot_ = 0;
+  std::uint64_t slot_ = 1;
+  std::uint64_t value_ = 0;
+  bool leader_ = false;
+  bool in_flight_ = false;
+  std::vector<std::uint64_t> pending_;
+  std::set<std::uint32_t> promises_;
+  std::set<std::uint32_t> accepts_;
+};
+
+class Acceptor final : public vm::GuestNode {
+ public:
+  void start(vm::GuestContext&) override {}
+  void on_message(vm::GuestContext& ctx, NodeId src, BytesView msg) override {
+    wire::MessageReader r(msg);
+    switch (r.tag()) {
+      case kPrepare: {
+        const std::uint64_t ballot = r.u64();
+        if (ballot <= promised_) return;
+        promised_ = ballot;
+        ctx.send(src, wire::MessageWriter(kPromise)
+                          .u64(ballot)
+                          .u64(accepted_ballot_)
+                          .u64(accepted_value_)
+                          .u32(ctx.self())
+                          .take());
+        break;
+      }
+      case kAccept: {
+        const std::uint64_t ballot = r.u64();
+        const std::uint64_t slot = r.u64();
+        const std::uint64_t value = r.u64();
+        if (ballot < promised_) return;
+        promised_ = ballot;
+        accepted_ballot_ = ballot;
+        accepted_value_ = value;
+        ctx.send(src, wire::MessageWriter(kAccepted)
+                          .u64(ballot)
+                          .u64(slot)
+                          .u32(ctx.self())
+                          .take());
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  void on_timer(vm::GuestContext&, std::uint64_t) override {}
+  void save(serial::Writer& w) const override {
+    w.u64(promised_);
+    w.u64(accepted_ballot_);
+    w.u64(accepted_value_);
+  }
+  void load(serial::Reader& r) override {
+    promised_ = r.u64();
+    accepted_ballot_ = r.u64();
+    accepted_value_ = r.u64();
+  }
+  std::string_view kind() const override { return "paxos-acceptor"; }
+
+ private:
+  std::uint64_t promised_ = 0;
+  std::uint64_t accepted_ballot_ = 0;
+  std::uint64_t accepted_value_ = 0;
+};
+
+class Client final : public vm::GuestNode {
+ public:
+  void start(vm::GuestContext& ctx) override { submit(ctx); }
+  void on_message(vm::GuestContext& ctx, NodeId, BytesView msg) override {
+    wire::MessageReader r(msg);
+    if (r.tag() != kDecide) return;
+    const std::uint64_t slot = r.u64();
+    if (slot != expected_slot_) return;
+    ++expected_slot_;
+    ctx.count("updates");
+    submit(ctx);
+  }
+  void on_timer(vm::GuestContext& ctx, std::uint64_t) override { submit(ctx); }
+  void save(serial::Writer& w) const override {
+    w.u64(next_value_);
+    w.u64(expected_slot_);
+  }
+  void load(serial::Reader& r) override {
+    next_value_ = r.u64();
+    expected_slot_ = r.u64();
+  }
+  std::string_view kind() const override { return "paxos-client"; }
+
+ private:
+  void submit(vm::GuestContext& ctx) {
+    ctx.send(kProposer, wire::MessageWriter(kSubmit).u64(++next_value_).take());
+    ctx.set_timer(1, kSecond);
+  }
+  std::uint64_t next_value_ = 0;
+  std::uint64_t expected_slot_ = 1;
+};
+
+}  // namespace
+
+int main() {
+  const wire::Schema schema = wire::parse_schema(kSchema);
+
+  search::Scenario sc;
+  sc.system_name = "paxos";
+  sc.schema = &schema;
+  sc.testbed.net.nodes = 5;
+  sc.testbed.net.default_link.delay = kMillisecond;
+  sc.factory = [](NodeId id) -> std::unique_ptr<vm::GuestNode> {
+    if (id == kProposer) return std::make_unique<Proposer>();
+    if (id == kClient) return std::make_unique<Client>();
+    return std::make_unique<Acceptor>();
+  };
+  // Paxos only promises safety under crash faults; compromising the
+  // distinguished proposer is exactly the kind of assumption violation the
+  // class assignment explores — Turret shows every liveness consequence.
+  sc.malicious = {kProposer};
+  sc.metric.name = "updates";
+  sc.warmup = kSecond;
+  sc.duration = 8 * kSecond;
+  sc.window = 3 * kSecond;
+  sc.actions.delays = {kSecond};
+  sc.actions.duplicate_counts = {50};
+
+  std::printf("Searching for attacks in Paxos (compromised proposer)...\n\n");
+  const auto res = search::weighted_greedy_search(sc);
+  std::printf("baseline: %.1f decisions/sec\n%s\n", res.baseline_performance,
+              res.summary().c_str());
+  return 0;
+}

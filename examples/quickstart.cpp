@@ -1,0 +1,155 @@
+// Quickstart: everything you need to point Turret at your own system.
+//
+// A system under test is three things (paper §III-A):
+//   1. guests — your protocol nodes, implemented against vm::GuestNode
+//      (messages in, messages/timers out); Turret never looks inside them;
+//   2. a `.msg` format description of the external message API;
+//   3. a performance metric the application reports (GuestContext::count).
+//
+// This example builds a 40-line replicated counter (a leader forwards client
+// increments to two followers and acks after both confirm), hands Turret the
+// schema and the metric, and lets the weighted greedy search find attacks —
+// which it does: dropping/delaying Forward stalls acks, and the follower
+// trusts a length field (a deliberately planted bug Turret's lying actions
+// discover as a crash).
+#include <cstdio>
+
+#include "search/algorithms.h"
+#include "systems/replication/faults.h"
+
+using namespace turret;
+
+// --- 1. The message format description you would hand to Turret -----------
+static constexpr char kSchema[] = R"(
+protocol counter;
+message Incr = 1 {
+  u64 amount;
+}
+message Forward = 2 {
+  u64 seq;
+  u64 amount;
+  i32 n_batched;   # trusted by followers: the planted vulnerability
+}
+message Confirm = 3 {
+  u64 seq;
+}
+message Ack = 4 {
+  u64 seq;
+}
+)";
+
+// --- 2. The implementation (unmodified, as far as Turret is concerned) -----
+
+class Leader final : public vm::GuestNode {
+ public:
+  void start(vm::GuestContext&) override {}
+  void on_message(vm::GuestContext& ctx, NodeId src, BytesView msg) override {
+    wire::MessageReader r(msg);
+    if (r.tag() == 1) {  // Incr from the client
+      const std::uint64_t amount = r.u64();
+      client_ = src;
+      ++seq_;
+      confirms_ = 0;
+      Bytes fwd = wire::MessageWriter(2).u64(seq_).u64(amount).i32(1).take();
+      ctx.send(1, fwd);
+      ctx.send(2, fwd);
+    } else if (r.tag() == 3) {  // Confirm from a follower
+      if (r.u64() != seq_) return;
+      if (++confirms_ == 2)
+        ctx.send(client_, wire::MessageWriter(4).u64(seq_).take());
+    }
+  }
+  void on_timer(vm::GuestContext&, std::uint64_t) override {}
+  void save(serial::Writer& w) const override {
+    w.u64(seq_);
+    w.u32(confirms_);
+    w.u32(client_);
+  }
+  void load(serial::Reader& r) override {
+    seq_ = r.u64();
+    confirms_ = r.u32();
+    client_ = r.u32();
+  }
+  std::string_view kind() const override { return "leader"; }
+
+ private:
+  std::uint64_t seq_ = 0;
+  std::uint32_t confirms_ = 0;
+  NodeId client_ = kNoNode;
+};
+
+class Follower final : public vm::GuestNode {
+ public:
+  void start(vm::GuestContext&) override {}
+  void on_message(vm::GuestContext& ctx, NodeId src, BytesView msg) override {
+    wire::MessageReader r(msg);
+    if (r.tag() != 2) return;
+    const std::uint64_t seq = r.u64();
+    const std::uint64_t amount = r.u64();
+    const std::int32_t n_batched = r.i32();
+    // The planted bug: the batch count is trusted, exactly like the length
+    // fields in the paper's case studies.
+    std::vector<std::uint64_t> batch(
+        systems::unchecked_length(n_batched));
+    (void)batch;
+    count_ += amount;
+    ctx.send(src, wire::MessageWriter(3).u64(seq).take());
+  }
+  void on_timer(vm::GuestContext&, std::uint64_t) override {}
+  void save(serial::Writer& w) const override { w.u64(count_); }
+  void load(serial::Reader& r) override { count_ = r.u64(); }
+  std::string_view kind() const override { return "follower"; }
+
+ private:
+  std::uint64_t count_ = 0;
+};
+
+class Client final : public vm::GuestNode {
+ public:
+  void start(vm::GuestContext& ctx) override { send_next(ctx); }
+  void on_message(vm::GuestContext& ctx, NodeId, BytesView msg) override {
+    wire::MessageReader r(msg);
+    if (r.tag() != 4) return;
+    ctx.count("updates");  // --- 3. the performance metric ---
+    send_next(ctx);
+  }
+  void on_timer(vm::GuestContext& ctx, std::uint64_t) override {
+    send_next(ctx);  // retry
+  }
+  void save(serial::Writer&) const override {}
+  void load(serial::Reader&) override {}
+  std::string_view kind() const override { return "client"; }
+
+ private:
+  void send_next(vm::GuestContext& ctx) {
+    ctx.send(0, wire::MessageWriter(1).u64(1).take());
+    ctx.set_timer(1, 500 * kMillisecond);
+  }
+};
+
+
+int main() {
+  const wire::Schema schema = wire::parse_schema(kSchema);
+
+  search::Scenario sc;
+  sc.system_name = "replicated-counter";
+  sc.schema = &schema;
+  sc.testbed.net.nodes = 4;  // leader, 2 followers, client
+  sc.testbed.net.default_link.delay = kMillisecond;
+  sc.factory = [](NodeId id) -> std::unique_ptr<vm::GuestNode> {
+    if (id == 0) return std::make_unique<Leader>();
+    if (id == 3) return std::make_unique<Client>();
+    return std::make_unique<Follower>();
+  };
+  sc.malicious = {0};  // suppose the leader is compromised
+  sc.metric.name = "updates";
+  sc.warmup = kSecond;
+  sc.duration = 5 * kSecond;
+  sc.window = 2 * kSecond;
+
+  std::printf("Searching for attacks in the replicated counter...\n\n");
+  const search::SearchResult res = search::weighted_greedy_search(sc);
+  std::printf("baseline: %.1f updates/sec\n%s\n", res.baseline_performance,
+              res.summary().c_str());
+  return 0;
+}

@@ -1,0 +1,220 @@
+// Total Order Multicast under Turret — one of the paper's §V-D class
+// assignments.
+//
+// A fixed-sequencer TO-multicast: three group members multicast application
+// messages; the sequencer (node 0) stamps each with a global sequence number
+// and rebroadcasts; members deliver in stamp order. Every member verifies it
+// delivers the same stream (a rolling hash); the driver counts deliveries
+// per second and order violations.
+//
+// Turret, pointed at a compromised sequencer, rediscovers the obvious truth
+// the assignment teaches: the fixed sequencer is a single point of failure —
+// dropping or delaying Stamp messages stalls delivery everywhere, and lying
+// on the sequence number field deadlocks the holes-based delivery queue.
+#include <cstdio>
+#include <map>
+
+#include "common/hash.h"
+#include "search/algorithms.h"
+
+using namespace turret;
+
+namespace {
+
+constexpr char kSchema[] = R"(
+protocol tom;
+message AppMsg = 1 {
+  u32   sender;
+  u64   local_seq;
+  bytes body;
+}
+message Stamp = 2 {
+  u64   global_seq;
+  u32   sender;
+  u64   local_seq;
+  bytes body;
+}
+message Delivered = 3 {
+  u32   member;
+  u64   global_seq;
+  u64   stream_hash;
+}
+)";
+
+enum Tag : wire::TypeTag { kAppMsg = 1, kStamp = 2, kDelivered = 3 };
+
+constexpr NodeId kSequencer = 0;
+constexpr NodeId kMembers[] = {1, 2, 3};
+constexpr NodeId kDriver = 4;
+
+class Sequencer final : public vm::GuestNode {
+ public:
+  void start(vm::GuestContext&) override {}
+  void on_message(vm::GuestContext& ctx, NodeId, BytesView msg) override {
+    wire::MessageReader r(msg);
+    if (r.tag() != kAppMsg) return;
+    const std::uint32_t sender = r.u32();
+    const std::uint64_t local_seq = r.u64();
+    const Bytes body = r.bytes();
+    const Bytes stamp = wire::MessageWriter(kStamp)
+                            .u64(++global_seq_)
+                            .u32(sender)
+                            .u64(local_seq)
+                            .bytes(body)
+                            .take();
+    for (NodeId m : kMembers) ctx.send(m, stamp);
+  }
+  void on_timer(vm::GuestContext&, std::uint64_t) override {}
+  void save(serial::Writer& w) const override { w.u64(global_seq_); }
+  void load(serial::Reader& r) override { global_seq_ = r.u64(); }
+  std::string_view kind() const override { return "sequencer"; }
+
+ private:
+  std::uint64_t global_seq_ = 0;
+};
+
+class Member final : public vm::GuestNode {
+ public:
+  void start(vm::GuestContext& ctx) override {
+    ctx.set_timer(1, 10 * kMillisecond + ctx.self() * 3 * kMillisecond);
+  }
+
+  void on_message(vm::GuestContext& ctx, NodeId, BytesView msg) override {
+    wire::MessageReader r(msg);
+    if (r.tag() != kStamp) return;
+    const std::uint64_t gseq = r.u64();
+    const std::uint32_t sender = r.u32();
+    const std::uint64_t lseq = r.u64();
+    const Bytes body = r.bytes();
+    if (gseq <= delivered_) return;
+    holdback_[gseq] = hash_combine(hash_combine(sender, lseq), fnv1a(body));
+    // Deliver in global order; holes block (the classic TO-multicast rule).
+    while (true) {
+      auto it = holdback_.find(delivered_ + 1);
+      if (it == holdback_.end()) break;
+      ++delivered_;
+      stream_hash_ = hash_combine(stream_hash_, it->second);
+      holdback_.erase(it);
+      ctx.send(kDriver, wire::MessageWriter(kDelivered)
+                            .u32(ctx.self())
+                            .u64(delivered_)
+                            .u64(stream_hash_)
+                            .take());
+    }
+  }
+
+  void on_timer(vm::GuestContext& ctx, std::uint64_t) override {
+    // Multicast an application message via the sequencer.
+    ++local_seq_;
+    ctx.send(kSequencer, wire::MessageWriter(kAppMsg)
+                             .u32(ctx.self())
+                             .u64(local_seq_)
+                             .bytes(Bytes(32, static_cast<std::uint8_t>(local_seq_)))
+                             .take());
+    ctx.set_timer(1, 15 * kMillisecond);
+  }
+
+  void save(serial::Writer& w) const override {
+    w.u64(local_seq_);
+    w.u64(delivered_);
+    w.u64(stream_hash_);
+    w.u32(static_cast<std::uint32_t>(holdback_.size()));
+    for (const auto& [g, h] : holdback_) {
+      w.u64(g);
+      w.u64(h);
+    }
+  }
+  void load(serial::Reader& r) override {
+    local_seq_ = r.u64();
+    delivered_ = r.u64();
+    stream_hash_ = r.u64();
+    holdback_.clear();
+    const std::uint32_t n = r.u32();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const std::uint64_t g = r.u64();
+      holdback_[g] = r.u64();
+    }
+  }
+  std::string_view kind() const override { return "member"; }
+
+ private:
+  std::uint64_t local_seq_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t stream_hash_ = 0;
+  std::map<std::uint64_t, std::uint64_t> holdback_;
+};
+
+class Driver final : public vm::GuestNode {
+ public:
+  void start(vm::GuestContext&) override {}
+  void on_message(vm::GuestContext& ctx, NodeId, BytesView msg) override {
+    wire::MessageReader r(msg);
+    if (r.tag() != kDelivered) return;
+    const std::uint32_t member = r.u32();
+    const std::uint64_t gseq = r.u64();
+    const std::uint64_t hash = r.u64();
+    ctx.count("updates");
+    // Total-order check: every member must report the same stream hash for
+    // the same global sequence number.
+    auto it = hashes_.find(gseq);
+    if (it == hashes_.end()) {
+      hashes_[gseq] = hash;
+      hashes_.erase(hashes_.begin(),
+                    hashes_.lower_bound(gseq > 64 ? gseq - 64 : 0));
+    } else if (it->second != hash) {
+      ctx.count("order_violations");
+    }
+    (void)member;
+  }
+  void on_timer(vm::GuestContext&, std::uint64_t) override {}
+  void save(serial::Writer& w) const override {
+    w.u32(static_cast<std::uint32_t>(hashes_.size()));
+    for (const auto& [g, h] : hashes_) {
+      w.u64(g);
+      w.u64(h);
+    }
+  }
+  void load(serial::Reader& r) override {
+    hashes_.clear();
+    const std::uint32_t n = r.u32();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const std::uint64_t g = r.u64();
+      hashes_[g] = r.u64();
+    }
+  }
+  std::string_view kind() const override { return "driver"; }
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> hashes_;
+};
+
+}  // namespace
+
+int main() {
+  const wire::Schema schema = wire::parse_schema(kSchema);
+
+  search::Scenario sc;
+  sc.system_name = "total-order-multicast";
+  sc.schema = &schema;
+  sc.testbed.net.nodes = 5;
+  sc.testbed.net.default_link.delay = kMillisecond;
+  sc.factory = [](NodeId id) -> std::unique_ptr<vm::GuestNode> {
+    if (id == kSequencer) return std::make_unique<Sequencer>();
+    if (id == kDriver) return std::make_unique<Driver>();
+    return std::make_unique<Member>();
+  };
+  sc.malicious = {kSequencer};  // the single point of failure, compromised
+  sc.metric.name = "updates";
+  sc.warmup = kSecond;
+  sc.duration = 6 * kSecond;
+  sc.window = 2 * kSecond;
+  sc.actions.delays = {kSecond};
+  sc.actions.duplicate_counts = {50};
+
+  std::printf(
+      "Searching for attacks in fixed-sequencer total order multicast...\n\n");
+  const auto res = search::weighted_greedy_search(sc);
+  std::printf("baseline: %.1f deliveries/sec\n%s\n", res.baseline_performance,
+              res.summary().c_str());
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Byte-buffer alias and small helpers used throughout the wire, netem and
+// serial layers. A Bytes value is always an owned, contiguous buffer.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace turret {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Copy a string's characters into a fresh byte buffer.
+Bytes to_bytes(std::string_view s);
+
+/// Interpret a byte buffer as text (no validation; for logs and tests).
+std::string to_string(BytesView b);
+
+/// Lowercase hex dump, no separators ("deadbeef").
+std::string to_hex(BytesView b);
+
+}  // namespace turret

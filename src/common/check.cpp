@@ -1,0 +1,20 @@
+#include "common/check.h"
+
+namespace turret::detail {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& msg) {
+  std::string what = "TURRET_CHECK failed: ";
+  what += expr;
+  what += " at ";
+  what += file;
+  what += ":";
+  what += std::to_string(line);
+  if (!msg.empty()) {
+    what += " — ";
+    what += msg;
+  }
+  throw std::logic_error(what);
+}
+
+}  // namespace turret::detail

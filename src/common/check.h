@@ -1,0 +1,28 @@
+// Invariant checking.
+//
+// TURRET_CHECK guards platform invariants (bugs in Turret itself) and throws
+// std::logic_error; it is always on. Guest protocol code deliberately does
+// NOT use these macros for untrusted input — reproducing the paper's targets
+// requires the guests to mishandle hostile fields the way the originals did,
+// with the VM boundary converting the failure into a guest crash.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace turret::detail {
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& msg);
+}  // namespace turret::detail
+
+#define TURRET_CHECK(expr)                                                  \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::turret::detail::check_failed(#expr, __FILE__, __LINE__, {});        \
+  } while (0)
+
+#define TURRET_CHECK_MSG(expr, msg)                                         \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::turret::detail::check_failed(#expr, __FILE__, __LINE__, (msg));     \
+  } while (0)

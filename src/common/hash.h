@@ -1,0 +1,24 @@
+// Content hashing used by the KSM-style shared-page index, the simulated
+// signature scheme, and message digests inside the BFT protocols.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/bytes.h"
+
+namespace turret {
+
+/// FNV-1a 64-bit over a byte range. Deterministic across platforms.
+std::uint64_t fnv1a(BytesView data, std::uint64_t seed = 0xcbf29ce484222325ull);
+
+/// FNV-1a over a string.
+std::uint64_t fnv1a(std::string_view s, std::uint64_t seed = 0xcbf29ce484222325ull);
+
+/// A 64-bit mixer (useful to combine hashes / derive keys).
+std::uint64_t mix64(std::uint64_t x);
+
+/// Combine two hashes order-dependently.
+std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b);
+
+}  // namespace turret

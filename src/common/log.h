@@ -1,0 +1,36 @@
+// Minimal leveled logger.
+//
+// The platform is a deterministic simulation, so logging is for humans
+// debugging scenarios, never for control flow. Off by default above WARN to
+// keep benches quiet; tests and examples may raise verbosity.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace turret {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const char* file, int line, std::string msg);
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+}  // namespace detail
+
+#define TURRET_LOG(level, ...)                                               \
+  do {                                                                       \
+    if (static_cast<int>(level) >= static_cast<int>(::turret::log_level()))  \
+      ::turret::detail::log_line(level, __FILE__, __LINE__,                  \
+                                 ::turret::detail::format(__VA_ARGS__));     \
+  } while (0)
+
+#define TLOG_DEBUG(...) TURRET_LOG(::turret::LogLevel::kDebug, __VA_ARGS__)
+#define TLOG_INFO(...) TURRET_LOG(::turret::LogLevel::kInfo, __VA_ARGS__)
+#define TLOG_WARN(...) TURRET_LOG(::turret::LogLevel::kWarn, __VA_ARGS__)
+#define TLOG_ERROR(...) TURRET_LOG(::turret::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace turret

@@ -1,0 +1,46 @@
+// Deterministic pseudo-random number generation.
+//
+// Every source of randomness in the platform (guest protocol choices, lying
+// strategies that pick "random" values, workload jitter) draws from an Rng
+// seeded from the scenario seed. Rng state is part of snapshots so that a
+// restored branch replays identically to the original execution — the property
+// execution branching depends on.
+#pragma once
+
+#include <cstdint>
+
+namespace turret {
+
+/// xoshiro256** with a splitmix64 seeder. Small, fast, serializable.
+class Rng {
+ public:
+  Rng() : Rng(0xdeadbeefcafef00dull) {}
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). bound == 0 returns 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t next_range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial.
+  bool next_bool(double p_true = 0.5);
+
+  /// Derive an independent generator (for per-node streams).
+  Rng fork();
+
+  // Snapshot support: the four words of internal state.
+  void save_state(std::uint64_t out[4]) const;
+  void load_state(const std::uint64_t in[4]);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace turret

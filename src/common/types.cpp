@@ -1,0 +1,29 @@
+#include "common/types.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace turret {
+
+std::string format_time(Time t) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3fs", static_cast<double>(t) / kSecond);
+  return buf;
+}
+
+std::string format_duration(Duration d) {
+  char buf[48];
+  const double abs = std::fabs(static_cast<double>(d));
+  if (abs < kMicrosecond) {
+    std::snprintf(buf, sizeof(buf), "%ldns", static_cast<long>(d));
+  } else if (abs < kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%.3gus", static_cast<double>(d) / kMicrosecond);
+  } else if (abs < kSecond) {
+    std::snprintf(buf, sizeof(buf), "%.3gms", static_cast<double>(d) / kMillisecond);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4gs", static_cast<double>(d) / kSecond);
+  }
+  return buf;
+}
+
+}  // namespace turret

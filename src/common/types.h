@@ -1,0 +1,37 @@
+// Core scalar types shared across the Turret platform.
+//
+// All of Turret runs on a single virtual timeline driven by the network
+// emulator's event queue (see netem::Emulator). Time is signed 64-bit
+// nanoseconds so that arithmetic on differences cannot silently wrap.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace turret {
+
+/// Virtual time in nanoseconds since the start of an execution.
+using Time = std::int64_t;
+
+/// Duration in nanoseconds. Same representation as Time; kept as a separate
+/// alias to make signatures self-documenting.
+using Duration = std::int64_t;
+
+constexpr Duration kNanosecond = 1;
+constexpr Duration kMicrosecond = 1000 * kNanosecond;
+constexpr Duration kMillisecond = 1000 * kMicrosecond;
+constexpr Duration kSecond = 1000 * kMillisecond;
+
+/// Identifier of a participant (a guest VM / emulator end node). Dense,
+/// starting at 0; assigned by the Testbed in construction order.
+using NodeId = std::uint32_t;
+
+constexpr NodeId kNoNode = 0xffffffffu;
+
+/// Render a virtual time as seconds with millisecond precision, e.g. "12.345s".
+std::string format_time(Time t);
+
+/// Render a duration in the most readable unit ("250us", "1.5ms", "6s").
+std::string format_duration(Duration d);
+
+}  // namespace turret

@@ -1,0 +1,315 @@
+#include "netem/emulator.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace turret::netem {
+
+// ---------------------------------------------------------------------------
+// Packet / Event serialization
+// ---------------------------------------------------------------------------
+
+void Packet::save(serial::Writer& w) const {
+  w.u32(src);
+  w.u32(dst);
+  w.u64(msg_id);
+  w.u16(frag_index);
+  w.u16(frag_count);
+  w.u32(msg_bytes);
+  w.bytes(payload);
+}
+
+Packet Packet::load(serial::Reader& r) {
+  Packet p;
+  p.src = r.u32();
+  p.dst = r.u32();
+  p.msg_id = r.u64();
+  p.frag_index = r.u16();
+  p.frag_count = r.u16();
+  p.msg_bytes = r.u32();
+  p.payload = r.bytes();
+  return p;
+}
+
+void Event::save(serial::Writer& w) const {
+  w.i64(at);
+  w.u64(seq);
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u32(node);
+  w.u64(a);
+  w.u64(b);
+  packet.save(w);
+}
+
+Event Event::load(serial::Reader& r) {
+  Event e;
+  e.at = r.i64();
+  e.seq = r.u64();
+  e.kind = static_cast<EventKind>(r.u8());
+  e.node = r.u32();
+  e.a = r.u64();
+  e.b = r.u64();
+  e.packet = Packet::load(r);
+  return e;
+}
+
+// ---------------------------------------------------------------------------
+// Emulator
+// ---------------------------------------------------------------------------
+
+Emulator::Emulator(NetConfig cfg)
+    : cfg_(std::move(cfg)), loss_rng_(cfg_.seed ^ 0x6e65746e656d75ull) {
+  TURRET_CHECK_MSG(cfg_.nodes > 0, "emulator needs at least one node");
+  TURRET_CHECK(cfg_.mtu >= 64);
+  links_.resize(static_cast<std::size_t>(cfg_.nodes) * cfg_.nodes);
+  devices_.reserve(cfg_.nodes);
+  for (NodeId i = 0; i < cfg_.nodes; ++i)
+    devices_.push_back(make_device(cfg_.device, cfg_.nodes));
+}
+
+const LinkSpec& Emulator::link_spec(NodeId src, NodeId dst) const {
+  auto it = cfg_.link_overrides.find(NetConfig::pair_key(src, dst));
+  return it == cfg_.link_overrides.end() ? cfg_.default_link : it->second;
+}
+
+void Emulator::push_event(Time at, EventKind kind, NodeId node, std::uint64_t a,
+                          std::uint64_t b, Packet packet) {
+  Event e;
+  e.at = at;
+  e.seq = next_seq_++;
+  e.kind = kind;
+  e.node = node;
+  e.a = a;
+  e.b = b;
+  e.packet = std::move(packet);
+  queue_.push_back(std::move(e));
+  std::push_heap(queue_.begin(), queue_.end(), std::greater<>{});
+}
+
+void Emulator::send_message(NodeId src, NodeId dst, Bytes message) {
+  TURRET_CHECK(src < cfg_.nodes && dst < cfg_.nodes);
+  ++stats_.messages_sent;
+  if (proxy_ != nullptr) {
+    auto deliveries = proxy_->on_send(src, dst, message);
+    if (deliveries.empty()) {
+      ++stats_.messages_dropped_by_proxy;
+      return;
+    }
+    for (auto& d : deliveries) {
+      TURRET_CHECK(d.dst < cfg_.nodes);
+      if (d.delay > 0) {
+        // Hold the message in the proxy; a kProxyRelease event re-enters the
+        // send path later. Normally it bypasses the interceptor (the action
+        // was already applied once); a reintercept hold presents it again.
+        Packet held;
+        held.src = src;
+        held.dst = d.dst;
+        held.frag_count = 0;  // marker: carries a whole message
+        held.msg_bytes = static_cast<std::uint32_t>(d.message.size());
+        held.payload = std::move(d.message);
+        push_event(now_ + d.delay, EventKind::kProxyRelease, d.dst,
+                   d.reintercept ? 1 : 0, 0, std::move(held));
+      } else {
+        transmit(src, d.dst, std::move(d.message));
+      }
+    }
+    return;
+  }
+  transmit(src, dst, std::move(message));
+}
+
+void Emulator::transmit(NodeId src, NodeId dst, Bytes message) {
+  const LinkSpec& spec = link_spec(src, dst);
+  if (!spec.up) return;  // partitioned: silently dropped, like a dead cable
+
+  const std::uint64_t msg_id = next_msg_id_++;
+  const std::size_t total = message.size();
+  const std::size_t mtu = cfg_.mtu;
+  const std::uint16_t frag_count =
+      static_cast<std::uint16_t>(total == 0 ? 1 : (total + mtu - 1) / mtu);
+
+  LinkState& link = links_[static_cast<std::size_t>(src) * cfg_.nodes + dst];
+  Time cursor = std::max(now_, link.busy_until);
+
+  for (std::uint16_t i = 0; i < frag_count; ++i) {
+    Packet p;
+    p.src = src;
+    p.dst = dst;
+    p.msg_id = msg_id;
+    p.frag_index = i;
+    p.frag_count = frag_count;
+    p.msg_bytes = static_cast<std::uint32_t>(total);
+    const std::size_t off = static_cast<std::size_t>(i) * mtu;
+    const std::size_t len = std::min(mtu, total - off);
+    p.payload.assign(message.begin() + static_cast<std::ptrdiff_t>(off),
+                     message.begin() + static_cast<std::ptrdiff_t>(off + len));
+
+    // Bandwidth serialization at the sender NIC, then propagation.
+    const double bits = static_cast<double>(p.wire_size()) * 8.0;
+    const auto ser = static_cast<Duration>(bits / spec.bandwidth_bps * kSecond);
+    cursor += std::max<Duration>(ser, 1);
+
+    if (spec.loss_rate > 0 && loss_rng_.next_bool(spec.loss_rate)) {
+      ++stats_.packets_lost;
+      continue;
+    }
+    push_event(cursor + spec.delay, EventKind::kPacketDeliver, dst, 0, 0,
+               std::move(p));
+  }
+  link.busy_until = cursor;
+}
+
+void Emulator::schedule(Duration delay, EventKind kind, NodeId node,
+                        std::uint64_t a, std::uint64_t b) {
+  TURRET_CHECK(delay >= 0);
+  push_event(now_ + delay, kind, node, a, b);
+}
+
+bool Emulator::step() {
+  if (frozen_ || queue_.empty()) return false;
+  std::pop_heap(queue_.begin(), queue_.end(), std::greater<>{});
+  Event ev = std::move(queue_.back());
+  queue_.pop_back();
+  TURRET_CHECK_MSG(ev.at >= now_, "event scheduled in the past");
+  now_ = ev.at;
+  ++stats_.events_processed;
+  dispatch(ev);
+  return true;
+}
+
+void Emulator::run_until(Time t) {
+  while (!frozen_ && !queue_.empty() && queue_.front().at <= t) {
+    step();
+  }
+  if (!frozen_ && now_ < t) now_ = t;
+}
+
+Time Emulator::next_event_time() const {
+  return queue_.empty() ? -1 : queue_.front().at;
+}
+
+void Emulator::dispatch(const Event& ev) {
+  switch (ev.kind) {
+    case EventKind::kPacketDeliver:
+      deliver_packet(ev.packet);
+      break;
+    case EventKind::kProxyRelease:
+      if (ev.a == 1 && proxy_ != nullptr) {
+        // A held-for-reinterception message: run it through the (possibly
+        // re-armed) proxy as if it were being sent now.
+        send_message(ev.packet.src, ev.packet.dst, ev.packet.payload);
+      } else {
+        transmit(ev.packet.src, ev.packet.dst, ev.packet.payload);
+      }
+      break;
+    case EventKind::kTimer:
+    case EventKind::kHandlerDone:
+    case EventKind::kControl:
+      if (sink_ != nullptr) sink_->on_event(ev);
+      break;
+  }
+}
+
+void Emulator::deliver_packet(const Packet& p) {
+  NetDevice& dev = *devices_[p.dst];
+  const Duration dev_latency = dev.receive(p);
+  if (dev_latency < 0) return;  // device rejected the frame
+  ++stats_.packets_delivered;
+
+  if (p.frag_count == 1) {
+    ++stats_.messages_delivered;
+    if (sink_ != nullptr) sink_->on_message(p.dst, p.src, p.payload);
+    return;
+  }
+
+  Reassembly& re = reassembly_[p.msg_id];
+  if (re.data.empty() && re.received == 0) {
+    re.data.resize(p.msg_bytes);
+    re.have.assign(p.frag_count, false);
+  }
+  if (re.have[p.frag_index]) return;  // duplicate fragment
+  re.have[p.frag_index] = true;
+  ++re.received;
+  const std::size_t off = static_cast<std::size_t>(p.frag_index) * cfg_.mtu;
+  std::memcpy(re.data.data() + off, p.payload.data(), p.payload.size());
+  if (re.received == p.frag_count) {
+    Bytes whole = std::move(re.data);
+    reassembly_.erase(p.msg_id);
+    ++stats_.messages_delivered;
+    if (sink_ != nullptr) sink_->on_message(p.dst, p.src, std::move(whole));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// save / load
+// ---------------------------------------------------------------------------
+
+void Emulator::save(serial::Writer& w) const {
+  w.i64(now_);
+  w.boolean(frozen_);
+  w.u64(next_seq_);
+  w.u64(next_msg_id_);
+  w.vec(queue_, [](serial::Writer& ww, const Event& e) { e.save(ww); });
+  w.vec(links_, [](serial::Writer& ww, const LinkState& l) {
+    ww.i64(l.busy_until);
+  });
+  w.u32(static_cast<std::uint32_t>(reassembly_.size()));
+  for (const auto& [id, re] : reassembly_) {
+    w.u64(id);
+    w.u32(re.received);
+    w.bytes(re.data);
+    w.u32(static_cast<std::uint32_t>(re.have.size()));
+    for (bool h : re.have) w.boolean(h);
+  }
+  std::uint64_t rng_state[4];
+  loss_rng_.save_state(rng_state);
+  for (std::uint64_t s : rng_state) w.u64(s);
+  w.u64(stats_.messages_sent);
+  w.u64(stats_.messages_delivered);
+  w.u64(stats_.packets_delivered);
+  w.u64(stats_.packets_lost);
+  w.u64(stats_.messages_dropped_by_proxy);
+  w.u64(stats_.events_processed);
+}
+
+void Emulator::load(serial::Reader& r) {
+  now_ = r.i64();
+  frozen_ = r.boolean();
+  next_seq_ = r.u64();
+  next_msg_id_ = r.u64();
+  queue_ = r.vec<Event>([](serial::Reader& rr) { return Event::load(rr); });
+  std::make_heap(queue_.begin(), queue_.end(), std::greater<>{});
+  auto links = r.vec<LinkState>([](serial::Reader& rr) {
+    LinkState l;
+    l.busy_until = rr.i64();
+    return l;
+  });
+  TURRET_CHECK_MSG(links.size() == links_.size(),
+                   "snapshot topology does not match emulator config");
+  links_ = std::move(links);
+  reassembly_.clear();
+  const std::uint32_t n_re = r.u32();
+  for (std::uint32_t i = 0; i < n_re; ++i) {
+    const std::uint64_t id = r.u64();
+    Reassembly re;
+    re.received = r.u32();
+    re.data = r.bytes();
+    const std::uint32_t nh = r.u32();
+    re.have.resize(nh);
+    for (std::uint32_t j = 0; j < nh; ++j) re.have[j] = r.boolean();
+    reassembly_.emplace(id, std::move(re));
+  }
+  std::uint64_t rng_state[4];
+  for (std::uint64_t& s : rng_state) s = r.u64();
+  loss_rng_.load_state(rng_state);
+  stats_.messages_sent = r.u64();
+  stats_.messages_delivered = r.u64();
+  stats_.packets_delivered = r.u64();
+  stats_.packets_lost = r.u64();
+  stats_.messages_dropped_by_proxy = r.u64();
+  stats_.events_processed = r.u64();
+}
+
+}  // namespace turret::netem

@@ -1,0 +1,187 @@
+// The network emulator: virtual clock, event queue, links, devices, the
+// malicious-proxy ingress hook, and the save/load/freeze/resume operations
+// the paper adds to NS3 (§IV-C).
+//
+// One Emulator instance models the whole emulated network. Guests never talk
+// to each other directly — a guest's send becomes send_message() here, flows
+// through the ingress interceptor (the malicious proxy) if one is installed,
+// is fragmented to MTU-sized packets, experiences per-link bandwidth
+// serialization and propagation delay, is reassembled at the destination, is
+// processed by the destination's net device, and finally reaches the
+// MessageSink (the testbed), which dispatches it into the destination guest.
+//
+// Determinism contract: given the same initial state and the same sequence of
+// calls, an Emulator produces the identical event sequence. Together with
+// save()/load() this provides execution branching.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "netem/device.h"
+#include "netem/event.h"
+#include "netem/packet.h"
+#include "serial/serial.h"
+
+namespace turret::netem {
+
+/// Receives fully reassembled messages and non-packet events.
+class MessageSink {
+ public:
+  virtual ~MessageSink() = default;
+
+  /// A message has arrived at `dst` (already through the net device).
+  virtual void on_message(NodeId dst, NodeId src, Bytes message) = 0;
+
+  /// A kTimer / kHandlerDone / kControl event fired.
+  virtual void on_event(const Event& ev) = 0;
+};
+
+/// The malicious proxy's hook on the emulator ingress path. Called for every
+/// message entering the network; the implementation decides whether the
+/// sender is malicious and what to do with the message.
+class IngressInterceptor {
+ public:
+  struct Delivery {
+    NodeId dst;          ///< possibly diverted destination
+    Bytes message;       ///< possibly mutated contents
+    Duration delay = 0;  ///< 0 = send now; >0 = hold in the proxy
+    /// When held (delay > 0): present the message to the interceptor again
+    /// at release time. Used by the controller's injection-point capture —
+    /// the proxy holds the first message of a type while the controller
+    /// snapshots, and the branch's armed action then applies to the very
+    /// message that triggered the injection point (paper §IV-A: "when NS3
+    /// intercepts a message ... it asks the controller what actions it
+    /// needs to perform on the message").
+    bool reintercept = false;
+  };
+
+  virtual ~IngressInterceptor() = default;
+
+  /// Returns the deliveries replacing this send (empty = dropped).
+  virtual std::vector<Delivery> on_send(NodeId src, NodeId dst,
+                                        BytesView message) = 0;
+};
+
+/// Per-ordered-pair link parameters.
+struct LinkSpec {
+  Duration delay = kMillisecond;          ///< one-way propagation delay
+  double bandwidth_bps = 1e9;             ///< serialization rate
+  double loss_rate = 0.0;                 ///< independent per-packet loss
+  bool up = true;                         ///< false = partitioned
+};
+
+struct NetConfig {
+  std::uint32_t nodes = 0;
+  std::size_t mtu = 1500;                 ///< max packet payload bytes
+  DeviceKind device = DeviceKind::kBundled;
+  LinkSpec default_link;                  ///< applies to every ordered pair
+  /// Overrides keyed by (src << 32 | dst); used e.g. for Steward's WAN links.
+  std::map<std::uint64_t, LinkSpec> link_overrides;
+  std::uint64_t seed = 1;
+
+  static std::uint64_t pair_key(NodeId src, NodeId dst) {
+    return (static_cast<std::uint64_t>(src) << 32) | dst;
+  }
+};
+
+struct EmulatorStats {
+  std::uint64_t messages_sent = 0;       ///< messages entering the network
+  std::uint64_t messages_delivered = 0;  ///< messages handed to the sink
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t packets_lost = 0;
+  std::uint64_t messages_dropped_by_proxy = 0;
+  std::uint64_t events_processed = 0;
+};
+
+class Emulator {
+ public:
+  explicit Emulator(NetConfig cfg);
+
+  Time now() const { return now_; }
+  const NetConfig& config() const { return cfg_; }
+
+  /// The sink must outlive the emulator (the testbed owns both).
+  void set_sink(MessageSink* sink) { sink_ = sink; }
+
+  /// Install / remove (nullptr) the malicious proxy.
+  void set_interceptor(IngressInterceptor* proxy) { proxy_ = proxy; }
+
+  /// A guest sends an application-level message. Goes through the
+  /// interceptor, then fragmentation and the link model.
+  void send_message(NodeId src, NodeId dst, Bytes message);
+
+  /// Schedule a non-packet event `delay` from now.
+  void schedule(Duration delay, EventKind kind, NodeId node, std::uint64_t a,
+                std::uint64_t b);
+
+  /// Process the next event if any and not frozen. Returns false when the
+  /// queue is empty or the emulator is frozen.
+  bool step();
+
+  /// Run events up to and including time `t` (no-op while frozen).
+  void run_until(Time t);
+  void run_for(Duration d) { run_until(now_ + d); }
+
+  /// Time of the next pending event, or -1 if the queue is empty.
+  Time next_event_time() const;
+  std::size_t pending_events() const { return queue_.size(); }
+
+  // --- The operations the paper adds to NS3 -------------------------------
+
+  /// Stop the virtual clock. While frozen, step()/run_until() do nothing, but
+  /// send_message() still accepts messages (they are queued as events), which
+  /// mirrors NS3 continuing to "create objects for packets it is receiving".
+  void freeze() { frozen_ = true; }
+  void resume() { frozen_ = false; }
+  bool frozen() const { return frozen_; }
+
+  /// Serialize the complete network state: clock, event queue (with packets
+  /// in flight), link occupancy, reassembly buffers, loss RNG, statistics.
+  void save(serial::Writer& w) const;
+
+  /// Restore a state previously produced by save() on an emulator with the
+  /// same NetConfig.
+  void load(serial::Reader& r);
+
+  const EmulatorStats& stats() const { return stats_; }
+  const NetDevice& device(NodeId node) const { return *devices_.at(node); }
+
+ private:
+  struct LinkState {
+    Time busy_until = 0;  ///< when the last serialized packet clears the NIC
+  };
+
+  struct Reassembly {
+    std::uint32_t received = 0;
+    Bytes data;  ///< msg_bytes, fragments copied into place
+    std::vector<bool> have;
+  };
+
+  const LinkSpec& link_spec(NodeId src, NodeId dst) const;
+  void push_event(Time at, EventKind kind, NodeId node, std::uint64_t a,
+                  std::uint64_t b, Packet packet = {});
+  void transmit(NodeId src, NodeId dst, Bytes message);
+  void dispatch(const Event& ev);
+  void deliver_packet(const Packet& p);
+
+  NetConfig cfg_;
+  Time now_ = 0;
+  bool frozen_ = false;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_msg_id_ = 1;
+  std::vector<Event> queue_;  ///< binary min-heap (std::push_heap w/ greater)
+  std::vector<LinkState> links_;  ///< nodes*nodes, row-major by src
+  std::map<std::uint64_t, Reassembly> reassembly_;  ///< key: msg_id
+  std::vector<std::unique_ptr<NetDevice>> devices_;
+  Rng loss_rng_;
+  EmulatorStats stats_;
+  MessageSink* sink_ = nullptr;
+  IngressInterceptor* proxy_ = nullptr;
+};
+
+}  // namespace turret::netem

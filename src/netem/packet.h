@@ -1,0 +1,37 @@
+// Network packets.
+//
+// The platform follows the paper's message-event model: a protocol message is
+// the unit the application (and the malicious proxy) reasons about, but on
+// the emulated network a message larger than the MTU is carried by several
+// packets (fragments) which the emulator reassembles at the receiver before
+// handing the message to the destination guest.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/types.h"
+#include "serial/serial.h"
+
+namespace turret::netem {
+
+/// Per-packet link/framing overhead in bytes (roughly Ethernet + IP + UDP).
+constexpr std::size_t kPacketOverhead = 54;
+
+struct Packet {
+  NodeId src = kNoNode;
+  NodeId dst = kNoNode;
+  std::uint64_t msg_id = 0;     ///< unique per message within an execution
+  std::uint16_t frag_index = 0; ///< 0-based fragment number
+  std::uint16_t frag_count = 1; ///< total fragments of the message
+  std::uint32_t msg_bytes = 0;  ///< size of the whole message
+  Bytes payload;                ///< this fragment's slice of the message
+
+  /// Bytes this packet occupies on the wire (payload + headers).
+  std::size_t wire_size() const { return payload.size() + kPacketOverhead; }
+
+  void save(serial::Writer& w) const;
+  static Packet load(serial::Reader& r);
+};
+
+}  // namespace turret::netem

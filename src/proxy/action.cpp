@@ -1,0 +1,104 @@
+#include "proxy/action.h"
+
+#include <cstdio>
+
+namespace turret::proxy {
+
+std::string_view action_kind_name(ActionKind k) {
+  switch (k) {
+    case ActionKind::kDrop: return "Drop";
+    case ActionKind::kDelay: return "Delay";
+    case ActionKind::kDivert: return "Divert";
+    case ActionKind::kDuplicate: return "Dup";
+    case ActionKind::kLie: return "Lie";
+  }
+  return "?";
+}
+
+std::string_view lie_strategy_name(LieStrategy s) {
+  switch (s) {
+    case LieStrategy::kMin: return "min";
+    case LieStrategy::kMax: return "max";
+    case LieStrategy::kRandom: return "random";
+    case LieStrategy::kSpanning: return "spanning";
+    case LieStrategy::kAdd: return "add";
+    case LieStrategy::kSub: return "sub";
+    case LieStrategy::kMul: return "mul";
+    case LieStrategy::kFlip: return "flip";
+  }
+  return "?";
+}
+
+std::string_view cluster_name(ActionCluster c) {
+  switch (c) {
+    case ActionCluster::kDrop: return "drop";
+    case ActionCluster::kDelay: return "delay";
+    case ActionCluster::kDivert: return "divert";
+    case ActionCluster::kDuplicateFew: return "dup-few";
+    case ActionCluster::kDuplicateMany: return "dup-many";
+    case ActionCluster::kLieBoundary: return "lie-boundary";
+    case ActionCluster::kLieRelative: return "lie-relative";
+    case ActionCluster::kLieRandom: return "lie-random";
+  }
+  return "?";
+}
+
+ActionCluster MaliciousAction::cluster() const {
+  switch (kind) {
+    case ActionKind::kDrop: return ActionCluster::kDrop;
+    case ActionKind::kDelay: return ActionCluster::kDelay;
+    case ActionKind::kDivert: return ActionCluster::kDivert;
+    case ActionKind::kDuplicate:
+      return copies >= 10 ? ActionCluster::kDuplicateMany
+                          : ActionCluster::kDuplicateFew;
+    case ActionKind::kLie:
+      switch (strategy) {
+        case LieStrategy::kRandom: return ActionCluster::kLieRandom;
+        case LieStrategy::kAdd:
+        case LieStrategy::kSub:
+        case LieStrategy::kMul: return ActionCluster::kLieRelative;
+        default: return ActionCluster::kLieBoundary;
+      }
+  }
+  return ActionCluster::kDrop;
+}
+
+std::string MaliciousAction::describe() const {
+  char buf[160];
+  switch (kind) {
+    case ActionKind::kDrop:
+      std::snprintf(buf, sizeof(buf), "Drop %s %d%%", message_name.c_str(),
+                    static_cast<int>(drop_probability * 100));
+      break;
+    case ActionKind::kDelay:
+      std::snprintf(buf, sizeof(buf), "Delay %s %s", message_name.c_str(),
+                    format_duration(delay).c_str());
+      break;
+    case ActionKind::kDivert:
+      std::snprintf(buf, sizeof(buf), "Divert %s", message_name.c_str());
+      break;
+    case ActionKind::kDuplicate:
+      std::snprintf(buf, sizeof(buf), "Dup %s %u", message_name.c_str(), copies);
+      break;
+    case ActionKind::kLie:
+      if (strategy == LieStrategy::kSpanning) {
+        std::snprintf(buf, sizeof(buf), "Lie %s.%s span(%lld)",
+                      message_name.c_str(), field_name.c_str(),
+                      static_cast<long long>(operand));
+      } else if (strategy == LieStrategy::kAdd || strategy == LieStrategy::kSub ||
+                 strategy == LieStrategy::kMul) {
+        std::snprintf(buf, sizeof(buf), "Lie %s.%s %s(%lld)",
+                      message_name.c_str(), field_name.c_str(),
+                      std::string(lie_strategy_name(strategy)).c_str(),
+                      static_cast<long long>(operand));
+      } else {
+        std::snprintf(buf, sizeof(buf), "Lie %s.%s %s", message_name.c_str(),
+                      field_name.c_str(),
+                      std::string(lie_strategy_name(strategy)).c_str());
+      }
+      break;
+  }
+  return buf;
+}
+
+}  // namespace turret::proxy

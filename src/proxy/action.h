@@ -1,0 +1,83 @@
+// Malicious actions (paper §II-B).
+//
+// Message delivery actions (drop, delay, divert, duplicate) need only message
+// boundaries; message lying actions mutate typed fields using the schema.
+// Lying follows the paper's strategies: absolute values (min, max, random,
+// spanning — a set of values spanning the data type's range) and relative
+// values (add, subtract, multiply applied to the original value); booleans
+// flip. Every action targets one message type; once armed it applies to every
+// matching message a malicious node sends.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "wire/schema.h"
+
+namespace turret::proxy {
+
+enum class ActionKind : std::uint8_t {
+  kDrop = 0,
+  kDelay = 1,
+  kDivert = 2,
+  kDuplicate = 3,
+  kLie = 4,
+};
+
+enum class LieStrategy : std::uint8_t {
+  kMin = 0,       ///< type's minimum value
+  kMax = 1,       ///< type's maximum value
+  kRandom = 2,    ///< uniform random value of the type (fresh per message)
+  kSpanning = 3,  ///< one concrete value from the spanning set (in `operand`)
+  kAdd = 4,       ///< original + operand
+  kSub = 5,       ///< original - operand
+  kMul = 6,       ///< original * operand
+  kFlip = 7,      ///< boolean negation
+};
+
+std::string_view action_kind_name(ActionKind k);
+std::string_view lie_strategy_name(LieStrategy s);
+
+/// Clusters for the weighted greedy algorithm: actions whose effectiveness
+/// tends to correlate across message types share a cluster (paper §III-B).
+enum class ActionCluster : std::uint8_t {
+  kDrop = 0,
+  kDelay = 1,
+  kDivert = 2,
+  kDuplicateFew = 3,
+  kDuplicateMany = 4,
+  kLieBoundary = 5,   ///< min/max/spanning — boundary and out-of-range values
+  kLieRelative = 6,   ///< add/sub/mul
+  kLieRandom = 7,
+};
+
+constexpr std::size_t kNumClusters = 8;
+
+std::string_view cluster_name(ActionCluster c);
+
+struct MaliciousAction {
+  wire::TypeTag target_tag = 0;
+  std::string message_name;  ///< for reports
+  ActionKind kind = ActionKind::kDrop;
+
+  // kDrop
+  double drop_probability = 1.0;
+  // kDelay
+  Duration delay = 0;
+  // kDuplicate
+  std::uint32_t copies = 2;
+  // kLie
+  std::uint32_t field_index = 0;
+  std::string field_name;
+  LieStrategy strategy = LieStrategy::kMin;
+  std::int64_t operand = 0;  ///< spanning value / relative operand
+
+  ActionCluster cluster() const;
+
+  /// Human-readable, e.g. "Delay PrePrepare 1s", "Lie PrePrepare.view max".
+  std::string describe() const;
+};
+
+}  // namespace turret::proxy

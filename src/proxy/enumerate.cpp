@@ -1,0 +1,106 @@
+#include "proxy/enumerate.h"
+
+namespace turret::proxy {
+
+std::vector<std::int64_t> spanning_values(wire::FieldType type) {
+  using wire::FieldType;
+  // Values chosen to cross the interesting boundaries of each width: zero,
+  // one, a mid-range power of two, and (for signed types) -1. Type min/max
+  // are covered by the dedicated kMin/kMax strategies.
+  switch (type) {
+    case FieldType::kI8:
+    case FieldType::kU8:
+      return {0, 1, 64, -1};
+    case FieldType::kI16:
+    case FieldType::kU16:
+      return {0, 1, 0x100, -1};
+    case FieldType::kI32:
+    case FieldType::kU32:
+      return {0, 1, 0x10000, -1};
+    case FieldType::kI64:
+    case FieldType::kU64:
+      return {0, 1, 0x100000000ll, -1};
+    default:
+      return {};
+  }
+}
+
+std::vector<MaliciousAction> enumerate_actions(const wire::MessageSpec& spec,
+                                               const ActionConfig& cfg) {
+  std::vector<MaliciousAction> out;
+  MaliciousAction base;
+  base.target_tag = spec.tag;
+  base.message_name = spec.name;
+
+  // --- Message delivery actions (no format knowledge needed) ---------------
+  for (double p : cfg.drop_probabilities) {
+    MaliciousAction a = base;
+    a.kind = ActionKind::kDrop;
+    a.drop_probability = p;
+    out.push_back(a);
+  }
+  for (Duration d : cfg.delays) {
+    MaliciousAction a = base;
+    a.kind = ActionKind::kDelay;
+    a.delay = d;
+    out.push_back(a);
+  }
+  if (cfg.divert) {
+    MaliciousAction a = base;
+    a.kind = ActionKind::kDivert;
+    out.push_back(a);
+  }
+  for (std::uint32_t c : cfg.duplicate_counts) {
+    MaliciousAction a = base;
+    a.kind = ActionKind::kDuplicate;
+    a.copies = c;
+    out.push_back(a);
+  }
+
+  // --- Message lying actions (typed, per field) ----------------------------
+  for (std::size_t i = 0; i < spec.fields.size(); ++i) {
+    const wire::FieldSpec& f = spec.fields[i];
+    MaliciousAction lie = base;
+    lie.kind = ActionKind::kLie;
+    lie.field_index = static_cast<std::uint32_t>(i);
+    lie.field_name = f.name;
+
+    auto push = [&out, &lie](LieStrategy s, std::int64_t operand = 0) {
+      MaliciousAction a = lie;
+      a.strategy = s;
+      a.operand = operand;
+      out.push_back(a);
+    };
+
+    if (f.type == wire::FieldType::kBool) {
+      push(LieStrategy::kFlip);
+      continue;
+    }
+    if (f.type == wire::FieldType::kBytes) {
+      // Opaque payloads get no typed lying; delivery actions still apply.
+      continue;
+    }
+    push(LieStrategy::kMin);
+    push(LieStrategy::kMax);
+    if (cfg.lie_random) push(LieStrategy::kRandom);
+    if (wire::is_integer(f.type)) {
+      for (std::int64_t v : spanning_values(f.type))
+        push(LieStrategy::kSpanning, v);
+      for (std::int64_t op : cfg.relative_operands) {
+        push(LieStrategy::kAdd, op);
+        push(LieStrategy::kSub, op);
+      }
+      push(LieStrategy::kMul, cfg.multiply_operand);
+    } else {
+      // Floats: relative strategies with the first operand only.
+      if (!cfg.relative_operands.empty()) {
+        push(LieStrategy::kAdd, cfg.relative_operands.front());
+        push(LieStrategy::kSub, cfg.relative_operands.front());
+      }
+      push(LieStrategy::kMul, cfg.multiply_operand);
+    }
+  }
+  return out;
+}
+
+}  // namespace turret::proxy

@@ -1,0 +1,32 @@
+// Attack-space enumeration: every malicious action the controller will try
+// for a message type, generated from the schema alone (no user knowledge of
+// vulnerabilities — the paper's core usability claim).
+#pragma once
+
+#include <vector>
+
+#include "proxy/action.h"
+#include "wire/schema.h"
+
+namespace turret::proxy {
+
+struct ActionConfig {
+  std::vector<double> drop_probabilities{0.5, 1.0};
+  std::vector<Duration> delays{1 * kSecond, 5 * kSecond};
+  std::vector<std::uint32_t> duplicate_counts{2, 50};
+  bool divert = true;
+  /// Relative-lying operands (applied as add/sub/mul to the original value).
+  std::vector<std::int64_t> relative_operands{1, 1000};
+  std::int64_t multiply_operand = 2;
+  bool lie_random = true;
+};
+
+/// All delivery + lying actions for one message type.
+std::vector<MaliciousAction> enumerate_actions(const wire::MessageSpec& spec,
+                                               const ActionConfig& cfg = {});
+
+/// Spanning-set values for an integer field type: a small set of values that
+/// spans the representable range (paper §II-B).
+std::vector<std::int64_t> spanning_values(wire::FieldType type);
+
+}  // namespace turret::proxy

@@ -1,0 +1,155 @@
+#include "proxy/proxy.h"
+
+#include "common/check.h"
+#include "common/hash.h"
+#include "common/log.h"
+
+namespace turret::proxy {
+
+void mutate_field(wire::DecodedMessage& msg, std::uint32_t field_index,
+                  LieStrategy strategy, std::int64_t operand, Rng& rng) {
+  TURRET_CHECK(msg.spec != nullptr);
+  TURRET_CHECK(field_index < msg.values.size());
+  const wire::FieldType type = msg.spec->fields[field_index].type;
+  wire::Value& v = msg.values[field_index];
+
+  if (type == wire::FieldType::kBool) {
+    v = wire::Value::of_bool(!v.as_bool());
+    return;
+  }
+
+  if (wire::is_float(type)) {
+    const double orig = v.as_double();
+    double out = orig;
+    const double limit = (type == wire::FieldType::kF32)
+                             ? 3.4028234e38
+                             : 1.7976931348623157e308;
+    switch (strategy) {
+      case LieStrategy::kMin: out = -limit; break;
+      case LieStrategy::kMax: out = limit; break;
+      case LieStrategy::kRandom:
+        out = (rng.next_double() - 0.5) * 2e6;
+        break;
+      case LieStrategy::kSpanning: out = static_cast<double>(operand); break;
+      case LieStrategy::kAdd: out = orig + static_cast<double>(operand); break;
+      case LieStrategy::kSub: out = orig - static_cast<double>(operand); break;
+      case LieStrategy::kMul: out = orig * static_cast<double>(operand); break;
+      case LieStrategy::kFlip: out = -orig; break;
+    }
+    v = wire::Value::of_double(out);
+    return;
+  }
+
+  TURRET_CHECK_MSG(wire::is_integer(type), "lying on a non-numeric field");
+  // Work in 64-bit, then let encode() narrow with two's-complement wrap —
+  // exactly what happens when forged bytes hit a fixed-width wire field.
+  const bool is_signed = wire::is_signed_integer(type);
+  std::int64_t orig = is_signed ? v.as_signed()
+                                : static_cast<std::int64_t>(v.as_unsigned());
+  std::int64_t out = orig;
+  switch (strategy) {
+    case LieStrategy::kMin: out = wire::integer_min(type); break;
+    case LieStrategy::kMax:
+      out = static_cast<std::int64_t>(wire::integer_max(type));
+      break;
+    case LieStrategy::kRandom:
+      out = static_cast<std::int64_t>(rng.next_u64());
+      break;
+    case LieStrategy::kSpanning: out = operand; break;
+    case LieStrategy::kAdd: out = orig + operand; break;
+    case LieStrategy::kSub: out = orig - operand; break;
+    case LieStrategy::kMul: out = orig * operand; break;
+    case LieStrategy::kFlip: out = ~orig; break;
+  }
+  if (is_signed) {
+    v = wire::Value::of_signed(out);
+  } else {
+    v = wire::Value::of_unsigned(static_cast<std::uint64_t>(out));
+  }
+}
+
+MaliciousProxy::MaliciousProxy(const wire::Schema& schema,
+                               std::set<NodeId> malicious,
+                               std::uint32_t cluster_size)
+    : schema_(schema),
+      malicious_(std::move(malicious)),
+      cluster_size_(cluster_size),
+      rng_(0x70726f7879ull) {}
+
+void MaliciousProxy::arm(const MaliciousAction& action) {
+  action_ = action;
+  // Deterministic per-action randomness: the same branch replays identically.
+  rng_ = Rng(hash_combine(fnv1a(action.describe()), action.target_tag));
+}
+
+Bytes MaliciousProxy::apply_lie(BytesView message) {
+  wire::DecodedMessage decoded = wire::decode(schema_, message);
+  mutate_field(decoded, action_->field_index, action_->strategy,
+               action_->operand, rng_);
+  return wire::encode(decoded);
+}
+
+std::vector<netem::IngressInterceptor::Delivery> MaliciousProxy::on_send(
+    NodeId src, NodeId dst, BytesView message) {
+  auto pass = [&]() -> std::vector<Delivery> {
+    return {{dst, Bytes(message.begin(), message.end()), 0}};
+  };
+  if (!is_malicious(src)) return pass();
+
+  wire::TypeTag tag = 0;
+  try {
+    tag = wire::peek_tag(message);
+  } catch (const wire::WireError&) {
+    return pass();  // not a protocol message we understand
+  }
+  ++stats_.observed;
+  if (observer_ && observer_(src, dst, tag)) {
+    // Injection-point capture: hold the message while the controller
+    // snapshots; it re-enters interception on release.
+    return {{dst, Bytes(message.begin(), message.end()), kHoldDelay,
+             /*reintercept=*/true}};
+  }
+
+  if (!action_ || action_->target_tag != tag) return pass();
+  ++stats_.injected;
+
+  switch (action_->kind) {
+    case ActionKind::kDrop:
+      if (rng_.next_bool(action_->drop_probability)) return {};
+      return pass();
+
+    case ActionKind::kDelay:
+      return {{dst, Bytes(message.begin(), message.end()), action_->delay}};
+
+    case ActionKind::kDivert: {
+      // Deliver to a node other than the intended destination.
+      if (cluster_size_ <= 1) return pass();
+      NodeId other = static_cast<NodeId>(rng_.next_below(cluster_size_));
+      if (other == dst) other = (other + 1) % cluster_size_;
+      return {{other, Bytes(message.begin(), message.end()), 0}};
+    }
+
+    case ActionKind::kDuplicate: {
+      std::vector<Delivery> out;
+      out.reserve(action_->copies + 1);
+      for (std::uint32_t i = 0; i <= action_->copies; ++i)
+        out.push_back({dst, Bytes(message.begin(), message.end()), 0});
+      return out;
+    }
+
+    case ActionKind::kLie: {
+      try {
+        return {{dst, apply_lie(message), 0}};
+      } catch (const wire::WireError& e) {
+        // Schema/type mismatch: pass the original through rather than forging
+        // garbage the schema cannot describe.
+        ++stats_.undecodable;
+        TLOG_DEBUG("proxy: cannot lie on tag %u: %s", tag, e.what());
+        return pass();
+      }
+    }
+  }
+  return pass();
+}
+
+}  // namespace turret::proxy

@@ -1,0 +1,79 @@
+// The malicious proxy (paper §III-D, §IV-B).
+//
+// Installed on the emulator's ingress path, it sees every message entering
+// the network. Messages from benign senders pass through untouched. Messages
+// from malicious senders are reported to the controller's observer (attack
+// injection point detection) and, while an action is armed, transformed:
+// dropped, delayed, diverted, duplicated, or decoded/mutated/re-encoded for
+// lying actions. The application is never modified — everything happens in
+// the network path, on real wire bytes, using only the schema.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <set>
+
+#include "common/rng.h"
+#include "netem/emulator.h"
+#include "proxy/action.h"
+#include "wire/message.h"
+
+namespace turret::proxy {
+
+struct ProxyStats {
+  std::uint64_t observed = 0;   ///< malicious-sender messages seen
+  std::uint64_t injected = 0;   ///< messages an armed action transformed
+  std::uint64_t undecodable = 0;  ///< matching tag but decode failed
+};
+
+class MaliciousProxy final : public netem::IngressInterceptor {
+ public:
+  /// Called for every message a malicious node sends (armed or not); the
+  /// controller uses it to discover attack injection points. Returning true
+  /// asks the proxy to HOLD the message briefly for re-interception — the
+  /// controller snapshots while it is held, so a branch's armed action
+  /// applies to the very message that created the injection point.
+  using SendObserver =
+      std::function<bool(NodeId src, NodeId dst, wire::TypeTag tag)>;
+
+  /// `schema` must outlive the proxy. `malicious` are the sender ids whose
+  /// traffic is intercepted (paper: listed in the NS3 configuration file).
+  MaliciousProxy(const wire::Schema& schema, std::set<NodeId> malicious,
+                 std::uint32_t cluster_size);
+
+  void set_observer(SendObserver observer) { observer_ = std::move(observer); }
+
+  /// Arm an action. Resets the proxy RNG deterministically from the action's
+  /// identity so that branches are reproducible.
+  void arm(const MaliciousAction& action);
+  void disarm() { action_.reset(); }
+  const std::optional<MaliciousAction>& armed() const { return action_; }
+
+  bool is_malicious(NodeId node) const { return malicious_.count(node) != 0; }
+  const ProxyStats& stats() const { return stats_; }
+
+  std::vector<Delivery> on_send(NodeId src, NodeId dst,
+                                BytesView message) override;
+
+ private:
+  Bytes apply_lie(BytesView message);
+
+  /// How long a held-for-snapshot message waits before re-entering the
+  /// interceptor.
+  static constexpr Duration kHoldDelay = 1 * kMicrosecond;
+
+  const wire::Schema& schema_;
+  std::set<NodeId> malicious_;
+  std::uint32_t cluster_size_;
+  std::optional<MaliciousAction> action_;
+  SendObserver observer_;
+  Rng rng_;
+  ProxyStats stats_;
+};
+
+/// Apply a lying strategy to one decoded field. Exposed for tests and for the
+/// enumeration layer's self-checks. Uses `rng` for kRandom.
+void mutate_field(wire::DecodedMessage& msg, std::uint32_t field_index,
+                  LieStrategy strategy, std::int64_t operand, Rng& rng);
+
+}  // namespace turret::proxy

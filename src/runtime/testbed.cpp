@@ -1,0 +1,225 @@
+#include "runtime/testbed.h"
+
+#include "common/check.h"
+#include "common/hash.h"
+#include "common/log.h"
+
+namespace turret::runtime {
+
+// ---------------------------------------------------------------------------
+// GuestContext implementation
+// ---------------------------------------------------------------------------
+
+class Testbed::Ctx final : public vm::GuestContext {
+ public:
+  Ctx(Testbed& tb, vm::VirtualMachine& m) : tb_(tb), m_(m) {}
+
+  NodeId self() const override { return m_.id(); }
+  std::uint32_t cluster_size() const override { return tb_.nodes(); }
+  Time now() const override { return tb_.emu_.now(); }
+  Rng& rng() override { return m_.rng(); }
+
+  void send(NodeId dst, Bytes message) override {
+    tb_.emu_.send_message(m_.id(), dst, std::move(message));
+  }
+
+  void set_timer(std::uint64_t timer_id, Duration delay) override {
+    auto& gen = tb_.timer_gen_[{m_.id(), timer_id}];
+    ++gen;  // invalidates any previously armed instance
+    tb_.emu_.schedule(delay, netem::EventKind::kTimer, m_.id(), timer_id, gen);
+  }
+
+  void cancel_timer(std::uint64_t timer_id) override {
+    auto it = tb_.timer_gen_.find({m_.id(), timer_id});
+    if (it != tb_.timer_gen_.end()) ++it->second;
+  }
+
+  void consume_cpu(Duration d) override {
+    if (d > 0) extra_cpu_ += d;
+  }
+
+  void count(std::string_view metric, double increment) override {
+    tb_.metrics_.count(metric, now(), increment);
+  }
+
+  void record(std::string_view metric, double value) override {
+    tb_.metrics_.record(metric, now(), value);
+  }
+
+  Duration extra_cpu() const { return extra_cpu_; }
+
+ private:
+  Testbed& tb_;
+  vm::VirtualMachine& m_;
+  Duration extra_cpu_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Testbed
+// ---------------------------------------------------------------------------
+
+Testbed::Testbed(TestbedConfig cfg, GuestFactory factory)
+    : cfg_(std::move(cfg)), factory_(std::move(factory)), emu_(cfg_.net) {
+  TURRET_CHECK(factory_ != nullptr);
+  emu_.set_sink(this);
+  vms_.reserve(cfg_.net.nodes);
+  for (NodeId id = 0; id < cfg_.net.nodes; ++id) {
+    vms_.push_back(std::make_unique<vm::VirtualMachine>(
+        id, factory_(id), cfg_.cpu, mix64(cfg_.seed) ^ (id + 1)));
+  }
+}
+
+Testbed::~Testbed() = default;
+
+void Testbed::guard_guest_call(vm::VirtualMachine& m,
+                               const std::function<void()>& call) {
+  // The crash-capture boundary: what would be a segfault or failed assert in
+  // a native binary surfaces here as an exception from guest code. Platform
+  // bugs (std::logic_error from TURRET_CHECK) are *not* absorbed.
+  try {
+    call();
+  } catch (const std::logic_error&) {
+    throw;
+  } catch (const std::exception& e) {
+    m.mark_crashed(emu_.now(), e.what());
+    metrics_.count("guest_crashes", emu_.now());
+    TLOG_INFO("guest %u crashed at %s: %s", m.id(),
+              format_time(emu_.now()).c_str(), e.what());
+  }
+}
+
+void Testbed::start() {
+  TURRET_CHECK_MSG(!started_, "start() called twice");
+  started_ = true;
+  for (auto& vm : vms_) {
+    Ctx ctx(*this, *vm);
+    guard_guest_call(*vm, [&] { vm->guest().start(ctx); });
+  }
+}
+
+std::vector<NodeId> Testbed::crashed_nodes() const {
+  std::vector<NodeId> out;
+  for (const auto& vm : vms_) {
+    if (vm->crashed()) out.push_back(vm->id());
+  }
+  return out;
+}
+
+void Testbed::enqueue_input(NodeId node, vm::GuestInput input) {
+  vm::VirtualMachine& m = *vms_.at(node);
+  const auto completion = m.enqueue(emu_.now(), std::move(input));
+  if (completion) {
+    emu_.schedule(*completion, netem::EventKind::kHandlerDone, node, 0, 0);
+  }
+}
+
+void Testbed::on_message(NodeId dst, NodeId src, Bytes message) {
+  vm::GuestInput in;
+  in.kind = vm::GuestInput::Kind::kMessage;
+  in.src = src;
+  in.cost = cfg_.cpu.message_cost(message.size());
+  in.message = std::move(message);
+  enqueue_input(dst, std::move(in));
+}
+
+void Testbed::on_event(const netem::Event& ev) {
+  switch (ev.kind) {
+    case netem::EventKind::kTimer: {
+      const auto it = timer_gen_.find({ev.node, ev.a});
+      if (it == timer_gen_.end() || it->second != ev.b) return;  // cancelled
+      vm::GuestInput in;
+      in.kind = vm::GuestInput::Kind::kTimer;
+      in.timer_id = ev.a;
+      in.cost = cfg_.cpu.timer_base;
+      enqueue_input(ev.node, std::move(in));
+      break;
+    }
+    case netem::EventKind::kHandlerDone:
+      run_handler(ev.node);
+      break;
+    case netem::EventKind::kControl:
+      break;  // reserved for controllers; no platform behaviour
+    default:
+      TURRET_CHECK_MSG(false, "unexpected event kind reached the sink");
+  }
+}
+
+void Testbed::run_handler(NodeId node) {
+  vm::VirtualMachine& m = *vms_.at(node);
+  auto input = m.begin_handler(emu_.now());
+  if (!input) return;  // guest crashed while this completion was in flight
+
+  Ctx ctx(*this, m);
+  guard_guest_call(m, [&] {
+    if (input->kind == vm::GuestInput::Kind::kMessage) {
+      m.guest().on_message(ctx, input->src, input->message);
+    } else {
+      m.guest().on_timer(ctx, input->timer_id);
+    }
+  });
+
+  const auto next = m.finish_handler(emu_.now(), ctx.extra_cpu());
+  if (next) {
+    emu_.schedule(*next, netem::EventKind::kHandlerDone, node, 0, 0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------------
+
+Bytes Testbed::save_snapshot() {
+  // Paper order: freeze the emulator (virtual time stops; it may still accept
+  // packets), pause every VM, save VM states, then save the network.
+  emu_.freeze();
+  for (auto& vm : vms_) vm->pause();
+
+  serial::Writer w;
+  w.boolean(started_);
+  w.u32(static_cast<std::uint32_t>(vms_.size()));
+  for (const auto& vm : vms_) vm->save(w);
+  emu_.save(w);
+  w.u32(static_cast<std::uint32_t>(timer_gen_.size()));
+  for (const auto& [key, gen] : timer_gen_) {
+    w.u32(key.first);
+    w.u64(key.second);
+    w.u64(gen);
+  }
+  metrics_.save(w);
+
+  for (auto& vm : vms_) vm->resume();
+  emu_.resume();
+  return w.take();
+}
+
+void Testbed::load_snapshot(BytesView snapshot) {
+  serial::Reader r(snapshot);
+  started_ = r.boolean();
+  const std::uint32_t n = r.u32();
+  TURRET_CHECK_MSG(n == vms_.size(),
+                   "snapshot VM count does not match testbed config");
+  // Restore order (reverse of save): network first, then VMs, then resume.
+  // We must read fields in stream order, so stage the VM payloads by letting
+  // each VM deserialize itself (guests are rebuilt fresh first).
+  for (NodeId id = 0; id < n; ++id) {
+    vms_[id] = std::make_unique<vm::VirtualMachine>(
+        id, factory_(id), cfg_.cpu, /*seed=*/0);  // RNG state overwritten by load
+    vms_[id]->load(r);
+  }
+  emu_.load(r);
+  timer_gen_.clear();
+  const std::uint32_t nt = r.u32();
+  for (std::uint32_t i = 0; i < nt; ++i) {
+    const NodeId node = r.u32();
+    const std::uint64_t timer_id = r.u64();
+    const std::uint64_t gen = r.u64();
+    timer_gen_[{node, timer_id}] = gen;
+  }
+  metrics_.load(r);
+  TURRET_CHECK_MSG(r.exhausted(), "trailing bytes in testbed snapshot");
+
+  for (auto& vm : vms_) vm->resume();  // they were saved in the paused state
+  emu_.resume();
+}
+
+}  // namespace turret::runtime

@@ -1,0 +1,100 @@
+// The Testbed: one complete emulated deployment.
+//
+// Owns the network emulator and one VirtualMachine per participant, routes
+// emulator events into guest handlers under the CPU model, implements the
+// GuestContext services, captures guest crashes, collects metrics, and
+// provides whole-system snapshots using the paper's distributed snapshot
+// protocol (§III-C):
+//
+//   save:    freeze emulator → pause VMs → save VM states → save network
+//   restore: load network → load VM states → resume VMs → resume emulator
+//
+// The initiator is the controller (not a participant), all components share
+// the virtual clock, and in-flight packets live in the emulator queue — the
+// three properties the paper notes make this simpler than Chandy-Lamport.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "netem/emulator.h"
+#include "runtime/metrics.h"
+#include "vm/machine.h"
+
+namespace turret::runtime {
+
+/// Creates the guest for node `id`. Called at construction and again on every
+/// snapshot restore (guest objects are rebuilt, then their state is loaded).
+using GuestFactory =
+    std::function<std::unique_ptr<vm::GuestNode>(NodeId id)>;
+
+struct TestbedConfig {
+  netem::NetConfig net;
+  vm::CpuModel cpu;
+  std::uint64_t seed = 1;
+};
+
+class Testbed final : public netem::MessageSink {
+ public:
+  Testbed(TestbedConfig cfg, GuestFactory factory);
+  ~Testbed() override;
+
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  /// Invoke every guest's start() at the current time. Must be called exactly
+  /// once for a fresh testbed; never after load_snapshot().
+  void start();
+
+  void run_for(Duration d) { emu_.run_for(d); }
+  void run_until(Time t) { emu_.run_until(t); }
+  Time now() const { return emu_.now(); }
+
+  netem::Emulator& emulator() { return emu_; }
+  const netem::Emulator& emulator() const { return emu_; }
+  MetricsCollector& metrics() { return metrics_; }
+  const MetricsCollector& metrics() const { return metrics_; }
+
+  std::uint32_t nodes() const { return cfg_.net.nodes; }
+  vm::VirtualMachine& machine(NodeId id) { return *vms_.at(id); }
+  const vm::VirtualMachine& machine(NodeId id) const { return *vms_.at(id); }
+
+  /// Ids of guests that have crashed so far.
+  std::vector<NodeId> crashed_nodes() const;
+
+  // --- Execution branching -------------------------------------------------
+
+  /// Serialize the entire system state (network + all VMs + timers + metrics).
+  Bytes save_snapshot();
+
+  /// Restore a snapshot taken from a testbed with identical config/factory.
+  void load_snapshot(BytesView snapshot);
+
+  // --- netem::MessageSink --------------------------------------------------
+
+  void on_message(NodeId dst, NodeId src, Bytes message) override;
+  void on_event(const netem::Event& ev) override;
+
+ private:
+  class Ctx;
+
+  void enqueue_input(NodeId node, vm::GuestInput input);
+  void run_handler(NodeId node);
+  void guard_guest_call(vm::VirtualMachine& m,
+                        const std::function<void()>& call);
+
+  TestbedConfig cfg_;
+  GuestFactory factory_;
+  netem::Emulator emu_;
+  std::vector<std::unique_ptr<vm::VirtualMachine>> vms_;
+  MetricsCollector metrics_;
+  /// One-shot timer generations: key (node, timer id) → latest generation.
+  /// A kTimer event fires only if its generation is still current.
+  std::map<std::pair<NodeId, std::uint64_t>, std::uint64_t> timer_gen_;
+  bool started_ = false;
+};
+
+}  // namespace turret::runtime

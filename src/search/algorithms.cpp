@@ -1,0 +1,320 @@
+#include "search/algorithms.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/check.h"
+#include "common/log.h"
+
+namespace turret::search {
+namespace {
+
+/// One-window evaluation of an action at an injection point.
+struct Evaluation {
+  WindowPerf perf;
+  double damage = 0;
+  std::uint32_t crashes = 0;
+
+  /// Ranking that places crashes above any degradation.
+  double rank() const { return crashes > 0 ? 2.0 + crashes : damage; }
+};
+
+Evaluation evaluate_once(BranchExecutor& exec,
+                         const BranchExecutor::InjectionPoint& ip,
+                         const proxy::MaliciousAction& action,
+                         const WindowPerf& base) {
+  const auto out = exec.run_branch(ip, &action, 1);
+  Evaluation ev;
+  ev.perf = out.windows[0];
+  ev.damage = compute_damage(exec.scenario().metric, base, ev.perf);
+  ev.crashes = out.new_crashes;
+  return ev;
+}
+
+/// Two-window classification branch for a candidate attack: distinguishes
+/// crash / halt / sustained degradation / transient (system recovered).
+AttackReport classify(BranchExecutor& exec,
+                      const BranchExecutor::InjectionPoint& ip,
+                      const proxy::MaliciousAction& action,
+                      const WindowPerf& base) {
+  const Scenario& sc = exec.scenario();
+  const auto out = exec.run_branch(ip, &action, 2);
+  const WindowPerf& w0 = out.windows[0];
+  const WindowPerf& w1 = out.windows[1];
+
+  AttackReport rep;
+  rep.action = action;
+  rep.baseline_performance = base.value;
+  rep.attacked_performance = w0.value;
+  rep.recovery_performance = w1.value;
+  rep.damage = compute_damage(sc.metric, base, w0);
+  rep.crashed_nodes = out.new_crashes;
+  rep.injection_time = ip.time;
+
+  const double damage2 = compute_damage(sc.metric, base, w1);
+  if (out.new_crashes > 0) {
+    rep.effect = AttackEffect::kCrash;
+  } else if (w0.samples == 0 && w1.samples == 0 && base.samples > 0) {
+    rep.effect = AttackEffect::kHalt;
+  } else if (damage2 > sc.delta) {
+    rep.effect = AttackEffect::kDegradation;
+  } else {
+    rep.effect = AttackEffect::kTransient;
+  }
+  return rep;
+}
+
+std::string action_key(wire::TypeTag tag, const proxy::MaliciousAction& a) {
+  return std::to_string(tag) + "|" + a.describe();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Brute force (Fig. 2a)
+// ---------------------------------------------------------------------------
+
+SearchResult brute_force_search(const Scenario& sc) {
+  SearchResult res;
+  res.algorithm = "brute-force";
+  SearchCost& cost = res.cost;
+
+  // Benign execution: first-send time per message type and per-type baseline
+  // windows. Obtained once (the algorithm's only shared state).
+  std::map<wire::TypeTag, Time> first_send;
+  std::vector<wire::TypeTag> order;
+  WindowPerf benign;
+  {
+    ScenarioWorld w = make_scenario_world(sc);
+    w.proxy->set_observer([&](NodeId, NodeId, wire::TypeTag tag) -> bool {
+      if (w.testbed->now() < sc.warmup) return false;
+      if (first_send.emplace(tag, w.testbed->now()).second)
+        order.push_back(tag);
+      return false;  // brute force never branches, so no holds
+    });
+    w.testbed->start();
+    w.testbed->run_until(sc.duration);
+    cost.execution += sc.duration;
+    benign = {w.testbed->metrics().rate(sc.metric.name, sc.warmup,
+                                        sc.warmup + sc.window),
+              0};
+  }
+
+  for (wire::TypeTag tag : order) {
+    const wire::MessageSpec* spec = sc.schema->by_tag(tag);
+    if (spec == nullptr) continue;
+    const Time t0 = first_send.at(tag);
+    const Time t_end = t0 + 2 * sc.window;
+
+    // Per-type baseline window from a dedicated benign run (brute force can
+    // not branch, so it pays a full execution even for the baseline).
+    WindowPerf base;
+    {
+      ScenarioWorld w = make_scenario_world(sc);
+      w.testbed->start();
+      w.testbed->run_until(t0 + sc.window);
+      cost.execution += t0 + sc.window;
+      ++cost.branches;
+      if (sc.metric.kind == MetricSpec::Kind::kRate) {
+        base.value = w.testbed->metrics().rate(sc.metric.name, t0, t0 + sc.window);
+        base.samples = static_cast<std::uint64_t>(
+            w.testbed->metrics().total(sc.metric.name, t0, t0 + sc.window));
+      } else {
+        const auto s = w.testbed->metrics().summary(sc.metric.name, t0, t0 + sc.window);
+        base.value = s.mean();
+        base.samples = s.count;
+      }
+    }
+
+    for (const proxy::MaliciousAction& action :
+         proxy::enumerate_actions(*spec, sc.actions)) {
+      // A full execution per scenario, attack armed from the start; the
+      // injection point is still the first send of the type, which the armed
+      // action is what transforms.
+      ScenarioWorld w = make_scenario_world(sc);
+      w.proxy->arm(action);
+      w.testbed->start();
+      w.testbed->run_until(t_end);
+      cost.execution += t_end;
+      ++cost.branches;
+
+      WindowPerf w0, w1;
+      if (sc.metric.kind == MetricSpec::Kind::kRate) {
+        w0 = {w.testbed->metrics().rate(sc.metric.name, t0, t0 + sc.window),
+              static_cast<std::uint64_t>(
+                  w.testbed->metrics().total(sc.metric.name, t0, t0 + sc.window))};
+        w1 = {w.testbed->metrics().rate(sc.metric.name, t0 + sc.window, t_end),
+              static_cast<std::uint64_t>(w.testbed->metrics().total(
+                  sc.metric.name, t0 + sc.window, t_end))};
+      } else {
+        const auto s0 = w.testbed->metrics().summary(sc.metric.name, t0, t0 + sc.window);
+        const auto s1 = w.testbed->metrics().summary(sc.metric.name, t0 + sc.window, t_end);
+        w0 = {s0.mean(), s0.count};
+        w1 = {s1.mean(), s1.count};
+      }
+      const double damage = compute_damage(sc.metric, base, w0);
+      const auto crashes =
+          static_cast<std::uint32_t>(w.testbed->crashed_nodes().size());
+
+      if (crashes == 0 && damage <= sc.delta) continue;
+
+      AttackReport rep;
+      rep.action = action;
+      rep.baseline_performance = base.value;
+      rep.attacked_performance = w0.value;
+      rep.recovery_performance = w1.value;
+      rep.damage = damage;
+      rep.crashed_nodes = crashes;
+      rep.injection_time = t0;
+      const double damage2 = compute_damage(sc.metric, base, w1);
+      if (crashes > 0) {
+        rep.effect = AttackEffect::kCrash;
+      } else if (w0.samples == 0 && w1.samples == 0 && base.samples > 0) {
+        rep.effect = AttackEffect::kHalt;
+      } else if (damage2 > sc.delta) {
+        rep.effect = AttackEffect::kDegradation;
+      } else {
+        rep.effect = AttackEffect::kTransient;
+      }
+      rep.found_after = cost.total();
+      res.attacks.push_back(std::move(rep));
+    }
+  }
+  res.baseline_performance = benign.value;
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Greedy (Fig. 2b)
+// ---------------------------------------------------------------------------
+
+SearchResult greedy_search(const Scenario& sc, const GreedyOptions& opt) {
+  BranchExecutor exec(sc);
+  const auto& points = exec.discover();
+
+  SearchResult res;
+  res.algorithm = "greedy";
+  res.baseline_performance = exec.benign_performance().value;
+
+  std::set<std::string> reported;
+  bool found_new = true;
+  int repetitions = 0;
+  while (found_new &&
+         (opt.max_repetitions == 0 || repetitions < opt.max_repetitions)) {
+    ++repetitions;
+    found_new = false;
+    for (const auto& ip0 : points) {
+      const wire::MessageSpec* spec = sc.schema->by_tag(ip0.tag);
+      if (spec == nullptr) continue;
+      std::vector<proxy::MaliciousAction> actions;
+      for (auto& a : proxy::enumerate_actions(*spec, sc.actions)) {
+        if (!reported.count(action_key(ip0.tag, a))) actions.push_back(std::move(a));
+      }
+      if (actions.empty()) continue;
+
+      // Evaluate every action at `confirmations` consecutive injection
+      // points; an attack must win (strongest damage, above Δ) every time.
+      BranchExecutor::InjectionPoint ip = ip0;
+      std::optional<std::size_t> winner;
+      int streak = 0;
+      WindowPerf winner_base;
+      BranchExecutor::InjectionPoint winner_ip = ip0;
+      for (int round = 0; round < opt.confirmations; ++round) {
+        const WindowPerf base = exec.baseline(ip);
+        std::optional<std::size_t> best;
+        double best_rank = 0;
+        for (std::size_t i = 0; i < actions.size(); ++i) {
+          const Evaluation ev = evaluate_once(exec, ip, actions[i], base);
+          if (!best || ev.rank() > best_rank) {
+            best = i;
+            best_rank = ev.rank();
+          }
+        }
+        if (!best || best_rank <= sc.delta) {
+          streak = 0;
+          break;  // nothing effective at this injection point
+        }
+        if (winner && *winner == *best) {
+          ++streak;
+        } else {
+          winner = best;
+          streak = 1;
+        }
+        winner_base = base;
+        winner_ip = ip;
+        if (round + 1 < opt.confirmations)
+          ip = exec.continue_branch(ip, nullptr, sc.window);
+      }
+
+      if (winner && streak >= opt.confirmations) {
+        AttackReport rep = classify(exec, winner_ip, actions[*winner], winner_base);
+        rep.found_after = exec.cost().total();
+        reported.insert(action_key(ip0.tag, actions[*winner]));
+        TLOG_INFO("greedy: %s", rep.describe().c_str());
+        res.attacks.push_back(std::move(rep));
+        found_new = true;
+      }
+    }
+  }
+  res.cost = exec.cost();
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Weighted greedy (Fig. 2c) — the paper's algorithm
+// ---------------------------------------------------------------------------
+
+SearchResult weighted_greedy_search(const Scenario& sc,
+                                    const WeightedOptions& opt,
+                                    ClusterWeights* learned) {
+  BranchExecutor exec(sc);
+  const auto& points = exec.discover();
+
+  SearchResult res;
+  res.algorithm = "weighted-greedy";
+  res.baseline_performance = exec.benign_performance().value;
+
+  ClusterWeights weights = opt.initial;
+
+  for (const auto& ip : points) {
+    const wire::MessageSpec* spec = sc.schema->by_tag(ip.tag);
+    if (spec == nullptr) continue;
+    std::vector<proxy::MaliciousAction> remaining =
+        proxy::enumerate_actions(*spec, sc.actions);
+    const WindowPerf base = exec.baseline(ip);
+
+    while (!remaining.empty()) {
+      // Pick the not-yet-tried action from the highest-weight cluster
+      // (stable: enumeration order breaks ties), so learned weights steer
+      // both this message type's scan and every later one.
+      std::size_t pick = 0;
+      for (std::size_t i = 1; i < remaining.size(); ++i) {
+        if (weights[remaining[i].cluster()] > weights[remaining[pick].cluster()])
+          pick = i;
+      }
+      const proxy::MaliciousAction action = std::move(remaining[pick]);
+      remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(pick));
+
+      const Evaluation ev = evaluate_once(exec, ip, action, base);
+      if (ev.rank() <= sc.delta) continue;
+
+      // The moment an action qualifies as an attack, report it and raise its
+      // cluster's weight. (The paper stops the scan here and lets the user
+      // repeat the search; in a deterministic platform re-running with the
+      // found attacks excluded is identical to continuing the scan, so we
+      // continue — found_after still records when each attack surfaced.)
+      AttackReport rep = classify(exec, ip, action, base);
+      rep.found_after = exec.cost().total();
+      weights[action.cluster()] += opt.bump;
+      TLOG_INFO("weighted-greedy: %s", rep.describe().c_str());
+      res.attacks.push_back(std::move(rep));
+    }
+  }
+
+  res.cost = exec.cost();
+  if (learned != nullptr) *learned = weights;
+  return res;
+}
+
+}  // namespace turret::search

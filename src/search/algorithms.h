@@ -1,0 +1,70 @@
+// The three attack-finding algorithms of §III-B.
+//
+//  * brute_force_search — Fig. 2(a): one full execution per (message type,
+//    action) scenario, no branching. Simple, and pays for it in time.
+//  * greedy_search — Fig. 2(b), the Gatling algorithm: branch at an injection
+//    point, evaluate a baseline plus *every* action for the message type,
+//    select the strongest, and require the same action to win at several
+//    consecutive injection points before declaring an attack. Finds the
+//    strongest attack per type per repetition; repetitions exclude attacks
+//    already reported until no new attack is found.
+//  * weighted_greedy_search — Fig. 2(c), the paper's contribution: actions
+//    are clustered; clusters carry weights (optionally preloaded); actions
+//    are tried in descending cluster-weight order and the search reports an
+//    attack the moment one action's damage exceeds Δ, bumping its cluster's
+//    weight so later message types (and systems) try likely-effective
+//    categories first.
+//
+// All three charge their execution and snapshot costs to SearchCost in
+// emulated seconds; AttackReport::found_after is the running total when the
+// attack was reported — the quantity Table III compares.
+#pragma once
+
+#include <array>
+
+#include "search/executor.h"
+#include "search/report.h"
+#include "search/scenario.h"
+
+namespace turret::search {
+
+struct GreedyOptions {
+  /// Injection points the same action must win consecutively (the paper's
+  /// "selected more than a certain number of times").
+  int confirmations = 3;
+  /// Cap on find-strongest/exclude/repeat passes (0 = until no new attack).
+  /// Greedy's cost grows quadratically with the attacks per message type;
+  /// benches bound it the way the paper's users bounded their patience.
+  int max_repetitions = 0;
+};
+
+/// Cluster weights for weighted greedy; learned weights can be carried from
+/// one system's search into the next (preloading).
+struct ClusterWeights {
+  std::array<double, proxy::kNumClusters> w;
+
+  ClusterWeights() { w.fill(1.0); }
+  double& operator[](proxy::ActionCluster c) {
+    return w[static_cast<std::size_t>(c)];
+  }
+  double operator[](proxy::ActionCluster c) const {
+    return w[static_cast<std::size_t>(c)];
+  }
+};
+
+struct WeightedOptions {
+  ClusterWeights initial;
+  /// Added to the winning cluster's weight for each attack found.
+  double bump = 1.0;
+};
+
+SearchResult brute_force_search(const Scenario& sc);
+SearchResult greedy_search(const Scenario& sc, const GreedyOptions& opt = {});
+
+/// `learned`, when non-null, receives the final weights (for preloading the
+/// next search).
+SearchResult weighted_greedy_search(const Scenario& sc,
+                                    const WeightedOptions& opt = {},
+                                    ClusterWeights* learned = nullptr);
+
+}  // namespace turret::search

@@ -1,0 +1,176 @@
+#include "search/executor.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.h"
+#include "common/log.h"
+
+namespace turret::search {
+
+double compute_damage(const MetricSpec& metric, const WindowPerf& base,
+                      const WindowPerf& perf) {
+  if (metric.higher_is_better) {
+    if (base.value <= 0) return 0;
+    return (base.value - perf.value) / base.value;
+  }
+  // Lower is better (latency): a window that completed nothing is the worst
+  // possible outcome, not a zero-latency miracle.
+  if (perf.samples == 0 && base.samples > 0) return 1.0;
+  if (base.value <= 0) return 0;
+  return (perf.value - base.value) / base.value;
+}
+
+BranchExecutor::BranchExecutor(const Scenario& sc) : sc_(sc) {
+  TURRET_CHECK_MSG(sc.schema != nullptr, "scenario needs a wire schema");
+  TURRET_CHECK_MSG(sc.factory != nullptr, "scenario needs a guest factory");
+  TURRET_CHECK_MSG(!sc.malicious.empty(), "scenario needs malicious nodes");
+}
+
+ScenarioWorld make_scenario_world(const Scenario& sc) {
+  ScenarioWorld w;
+  w.testbed = std::make_unique<runtime::Testbed>(sc.testbed, sc.factory);
+  w.proxy = std::make_unique<proxy::MaliciousProxy>(*sc.schema, sc.malicious,
+                                                    sc.testbed.net.nodes);
+  w.testbed->emulator().set_interceptor(w.proxy.get());
+  return w;
+}
+
+WindowPerf BranchExecutor::measure(const runtime::Testbed& tb, Time t0,
+                                   Time t1) const {
+  WindowPerf out;
+  if (sc_.metric.kind == MetricSpec::Kind::kRate) {
+    out.value = tb.metrics().rate(sc_.metric.name, t0, t1);
+    out.samples =
+        static_cast<std::uint64_t>(tb.metrics().total(sc_.metric.name, t0, t1));
+  } else {
+    const runtime::SeriesSummary s = tb.metrics().summary(sc_.metric.name, t0, t1);
+    out.value = s.mean();
+    out.samples = s.count;
+  }
+  return out;
+}
+
+const std::vector<BranchExecutor::InjectionPoint>& BranchExecutor::discover() {
+  if (points_) return *points_;
+  points_.emplace();
+
+  ScenarioWorld w = make_scenario_world(sc_);
+  // Observe first sends; snapshot at the end of the emulator step in which
+  // the first send of a new type occurred. Every send of a fresh type within
+  // that step is held across the snapshot — a broadcast is many sends, and a
+  // branch's armed action must apply to all of them (a rare message like
+  // View-Change may never be sent again inside the observation window).
+  std::set<wire::TypeTag> seen;
+  std::vector<wire::TypeTag> fresh;
+  w.proxy->set_observer([&](NodeId, NodeId, wire::TypeTag tag) -> bool {
+    if (w.testbed->now() < sc_.warmup) return false;
+    if (seen.insert(tag).second) {
+      fresh.push_back(tag);
+      return true;  // hold the triggering message across the snapshot
+    }
+    // Further sends of a just-captured type in this same step (the rest of
+    // the broadcast): hold them too.
+    return std::find(fresh.begin(), fresh.end(), tag) != fresh.end();
+  });
+
+  w.testbed->start();
+  const Time horizon = sc_.duration;
+  while (w.testbed->now() < horizon) {
+    const Time next = w.testbed->emulator().next_event_time();
+    if (next < 0 || next > horizon) break;
+    w.testbed->emulator().step();
+    if (!fresh.empty()) {
+      const Bytes snap = w.testbed->save_snapshot();
+      auto shared = std::make_shared<const Bytes>(snap);
+      for (wire::TypeTag tag : fresh) {
+        const wire::MessageSpec* spec = sc_.schema->by_tag(tag);
+        if (spec == nullptr) continue;  // traffic the schema doesn't describe
+        InjectionPoint ip;
+        ip.tag = tag;
+        ip.message_name = spec->name;
+        ip.time = w.testbed->now();
+        ip.snapshot = shared;
+        points_->push_back(std::move(ip));
+        TLOG_INFO("injection point: %s at %s", spec->name.c_str(),
+                  format_time(w.testbed->now()).c_str());
+      }
+      fresh.clear();
+      ++cost_.saves;
+      cost_.snapshots += sc_.branch_cost.save_cost;
+    }
+  }
+  cost_.execution += sc_.duration;
+
+  // Whole-run benign performance, reused by reports.
+  benign_perf_ = measure(*w.testbed, sc_.warmup, sc_.warmup + sc_.window);
+  return *points_;
+}
+
+WindowPerf BranchExecutor::benign_performance() {
+  discover();
+  return *benign_perf_;
+}
+
+BranchExecutor::BranchOutcome BranchExecutor::run_branch(
+    const InjectionPoint& ip, const proxy::MaliciousAction* action,
+    int windows) {
+  TURRET_CHECK(windows >= 1);
+  ScenarioWorld w = make_scenario_world(sc_);
+  w.testbed->load_snapshot(*ip.snapshot);
+  if (action != nullptr) w.proxy->arm(*action);
+
+  const std::uint32_t crashed_before =
+      static_cast<std::uint32_t>(w.testbed->crashed_nodes().size());
+  w.testbed->run_until(ip.time + windows * sc_.window);
+
+  BranchOutcome out;
+  for (int i = 0; i < windows; ++i) {
+    out.windows.push_back(measure(*w.testbed, ip.time + i * sc_.window,
+                                  ip.time + (i + 1) * sc_.window));
+  }
+  out.new_crashes =
+      static_cast<std::uint32_t>(w.testbed->crashed_nodes().size()) -
+      crashed_before;
+
+  ++cost_.branches;
+  ++cost_.loads;
+  cost_.snapshots += sc_.branch_cost.load_cost;
+  cost_.execution += windows * sc_.window;
+  return out;
+}
+
+WindowPerf BranchExecutor::baseline(const InjectionPoint& ip) {
+  auto it = baseline_cache_.find(ip.tag);
+  if (it != baseline_cache_.end()) return it->second;
+  const BranchOutcome out = run_branch(ip, nullptr, 1);
+  baseline_cache_[ip.tag] = out.windows[0];
+  return out.windows[0];
+}
+
+BranchExecutor::InjectionPoint BranchExecutor::continue_branch(
+    const InjectionPoint& ip, const proxy::MaliciousAction* action,
+    Duration dur) {
+  ScenarioWorld w = make_scenario_world(sc_);
+  w.testbed->load_snapshot(*ip.snapshot);
+  if (action != nullptr) w.proxy->arm(*action);
+  w.testbed->run_until(ip.time + dur);
+  w.proxy->disarm();
+
+  InjectionPoint next;
+  next.tag = ip.tag;
+  next.message_name = ip.message_name;
+  next.time = w.testbed->now();
+  next.snapshot = std::make_shared<const Bytes>(w.testbed->save_snapshot());
+
+  ++cost_.loads;
+  ++cost_.saves;
+  cost_.snapshots += sc_.branch_cost.load_cost + sc_.branch_cost.save_cost;
+  cost_.execution += dur;
+  // A continuation invalidates the cached baseline only for branches from the
+  // *new* point; the cache is keyed by tag, so refresh lazily.
+  baseline_cache_.erase(ip.tag);
+  return next;
+}
+
+}  // namespace turret::search

@@ -1,0 +1,92 @@
+// BranchExecutor: the mechanics shared by all attack-finding algorithms —
+// injection-point discovery, execution branching from snapshots, window
+// measurement, and search-cost accounting.
+//
+// Determinism is load-bearing here: restoring a snapshot and running with no
+// action armed reproduces the original execution exactly, so the baseline and
+// every malicious branch diverge only by the armed action (paper §III-B/C).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "proxy/proxy.h"
+#include "search/report.h"
+#include "search/scenario.h"
+
+namespace turret::search {
+
+/// State of one metric window in a branch.
+struct WindowPerf {
+  double value = 0;
+  std::uint64_t samples = 0;
+};
+
+/// Relative damage of `perf` vs `base` under the metric's direction;
+/// positive = worse. Windows with no samples under a lower-is-better metric
+/// count as total damage (nothing completed at all).
+double compute_damage(const MetricSpec& metric, const WindowPerf& base,
+                      const WindowPerf& perf);
+
+/// A freshly constructed testbed + proxy pair for one scenario, wired
+/// together (proxy installed on the emulator ingress path).
+struct ScenarioWorld {
+  std::unique_ptr<runtime::Testbed> testbed;
+  std::unique_ptr<proxy::MaliciousProxy> proxy;
+};
+
+ScenarioWorld make_scenario_world(const Scenario& sc);
+
+class BranchExecutor {
+ public:
+  struct InjectionPoint {
+    wire::TypeTag tag = 0;
+    std::string message_name;
+    Time time = 0;  ///< virtual time of the snapshot (just after first send)
+    std::shared_ptr<const Bytes> snapshot;
+  };
+
+  struct BranchOutcome {
+    std::vector<WindowPerf> windows;
+    std::uint32_t new_crashes = 0;  ///< benign guests crashed inside the branch
+  };
+
+  explicit BranchExecutor(const Scenario& sc);
+
+  /// Benign pass: runs the system for sc.duration and snapshots at the first
+  /// send (>= warmup) of each message type by a malicious node. Points come
+  /// back in first-send order. Idempotent (cached).
+  const std::vector<InjectionPoint>& discover();
+
+  /// Branch from `ip`, arm `action` (nullptr = baseline branch) and run
+  /// `windows` observation windows of sc.window each. Charges load + runtime.
+  BranchOutcome run_branch(const InjectionPoint& ip,
+                           const proxy::MaliciousAction* action, int windows);
+
+  /// Benign branch performance over the first window from `ip` (cached).
+  WindowPerf baseline(const InjectionPoint& ip);
+
+  /// Advance from `ip` by `dur` (benign or under `action`) and snapshot,
+  /// yielding the next injection point for the same message type.
+  InjectionPoint continue_branch(const InjectionPoint& ip,
+                                 const proxy::MaliciousAction* action,
+                                 Duration dur);
+
+  SearchCost& cost() { return cost_; }
+  const Scenario& scenario() const { return sc_; }
+
+  /// Whole-run benign performance over [warmup, warmup + window).
+  WindowPerf benign_performance();
+
+ private:
+  WindowPerf measure(const runtime::Testbed& tb, Time t0, Time t1) const;
+
+  const Scenario& sc_;
+  std::optional<std::vector<InjectionPoint>> points_;
+  std::map<wire::TypeTag, WindowPerf> baseline_cache_;
+  std::optional<WindowPerf> benign_perf_;
+  SearchCost cost_;
+};
+
+}  // namespace turret::search

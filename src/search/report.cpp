@@ -1,0 +1,53 @@
+#include "search/report.h"
+
+#include <cstdio>
+
+namespace turret::search {
+
+std::string_view attack_effect_name(AttackEffect e) {
+  switch (e) {
+    case AttackEffect::kDegradation: return "degradation";
+    case AttackEffect::kTransient: return "transient";
+    case AttackEffect::kCrash: return "crash";
+    case AttackEffect::kHalt: return "halt";
+  }
+  return "?";
+}
+
+std::string AttackReport::describe() const {
+  char buf[256];
+  if (effect == AttackEffect::kCrash) {
+    std::snprintf(buf, sizeof(buf), "%-34s crash (%u benign nodes down)",
+                  action.describe().c_str(), crashed_nodes);
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "%-34s %-11s %8.2f -> %8.2f (damage %4.1f%%)",
+                  action.describe().c_str(),
+                  std::string(attack_effect_name(effect)).c_str(),
+                  baseline_performance, attacked_performance, damage * 100.0);
+  }
+  return buf;
+}
+
+std::string SearchResult::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "[%s] %zu attacks, search time %s (%llu branches, %llu saves, "
+                "%llu loads)",
+                algorithm.c_str(), attacks.size(),
+                format_duration(cost.total()).c_str(),
+                static_cast<unsigned long long>(cost.branches),
+                static_cast<unsigned long long>(cost.saves),
+                static_cast<unsigned long long>(cost.loads));
+  std::string out = buf;
+  for (const AttackReport& a : attacks) {
+    out += "\n  ";
+    out += a.describe();
+    out += "  [found at ";
+    out += format_duration(a.found_after);
+    out += "]";
+  }
+  return out;
+}
+
+}  // namespace turret::search

@@ -1,0 +1,57 @@
+// Attack reports and search-cost accounting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "proxy/action.h"
+
+namespace turret::search {
+
+/// How the attack manifests.
+enum class AttackEffect : std::uint8_t {
+  kDegradation = 0,  ///< sustained performance loss
+  kTransient = 1,    ///< performance loss the system recovers from
+  kCrash = 2,        ///< benign nodes crash
+  kHalt = 3,         ///< progress stops entirely
+};
+
+std::string_view attack_effect_name(AttackEffect e);
+
+struct AttackReport {
+  proxy::MaliciousAction action;
+  AttackEffect effect = AttackEffect::kDegradation;
+  double baseline_performance = 0;
+  double attacked_performance = 0;
+  double damage = 0;  ///< relative, 0..1+ (1 = metric destroyed)
+  double recovery_performance = 0;  ///< second window, for transient analysis
+  std::uint32_t crashed_nodes = 0;
+  Time injection_time = 0;
+  /// Search time (emulated seconds) elapsed when this attack was reported —
+  /// the quantity Table III compares between greedy and weighted greedy.
+  Duration found_after = 0;
+
+  std::string describe() const;
+};
+
+struct SearchCost {
+  Duration execution = 0;  ///< virtual time of all runs/branches
+  Duration snapshots = 0;  ///< charged save/load overhead
+  std::uint64_t branches = 0;
+  std::uint64_t saves = 0;
+  std::uint64_t loads = 0;
+
+  Duration total() const { return execution + snapshots; }
+};
+
+struct SearchResult {
+  std::string algorithm;
+  std::vector<AttackReport> attacks;
+  SearchCost cost;
+  double baseline_performance = 0;
+
+  std::string summary() const;
+};
+
+}  // namespace turret::search

@@ -1,0 +1,65 @@
+// A search scenario: everything Turret needs from the user (paper §III-A).
+//
+// The paper's claim is that Turret requires only (1) the external message
+// protocol description, (2) the ability to run the system in its deployment
+// environment, and (3) an observable application performance metric. A
+// Scenario is exactly that: a guest factory + testbed config (the deployment),
+// a wire schema (the message protocol), the malicious node set, and a metric
+// specification, plus the search parameters Δ and w.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "proxy/enumerate.h"
+#include "runtime/testbed.h"
+#include "wire/schema.h"
+
+namespace turret::search {
+
+struct MetricSpec {
+  std::string name = "updates";
+  enum class Kind {
+    kRate,  ///< events/sec of a count metric (throughput)
+    kMean,  ///< mean of a value metric (latency)
+  } kind = Kind::kRate;
+  bool higher_is_better = true;
+};
+
+/// Virtual-time cost charged per snapshot operation when accounting search
+/// time, mirroring the real save/load costs the paper measures in Table II
+/// (5 VMs, page-sharing-aware: save 3.44 s, load 0.038 s).
+struct BranchCostModel {
+  Duration save_cost = 3440 * kMillisecond;
+  Duration load_cost = 38 * kMillisecond;
+};
+
+struct Scenario {
+  std::string system_name;
+
+  runtime::TestbedConfig testbed;
+  runtime::GuestFactory factory;
+  const wire::Schema* schema = nullptr;
+  std::set<NodeId> malicious;
+
+  MetricSpec metric;
+
+  /// Ignore injection points before this time (system still ramping up).
+  Duration warmup = 2 * kSecond;
+  /// Length of the benign discovery run (injection points are first sends of
+  /// each message type by a malicious node within this horizon).
+  Duration duration = 20 * kSecond;
+  /// Observation window w after an injection point (paper: 6 s, chosen to
+  /// exceed the systems' 5 s recovery timers).
+  Duration window = 6 * kSecond;
+  /// Relative performance damage threshold Δ. 10% — small enough to catch
+  /// the paper's mild Status attacks (≈17% damage), large enough that benign
+  /// branch-to-branch differences (which are zero in a deterministic
+  /// platform) can never qualify.
+  double delta = 0.1;
+
+  proxy::ActionConfig actions;
+  BranchCostModel branch_cost;
+};
+
+}  // namespace turret::search

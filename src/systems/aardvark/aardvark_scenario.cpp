@@ -1,0 +1,48 @@
+#include "systems/aardvark/aardvark_scenario.h"
+
+#include "systems/aardvark/aardvark_client.h"
+
+namespace turret::systems::aardvark {
+
+const wire::Schema& aardvark_schema() {
+  static const wire::Schema schema = wire::parse_schema(kSchema);
+  return schema;
+}
+
+AardvarkConfig make_aardvark_config(const AardvarkScenarioOptions& opt) {
+  AardvarkConfig cfg;
+  cfg.base.n = 4;
+  cfg.base.f = 1;
+  cfg.base.clients = 1;
+  cfg.base.verify_signatures = opt.verify_signatures;
+  return cfg;
+}
+
+search::Scenario make_aardvark_scenario(const AardvarkScenarioOptions& opt) {
+  const AardvarkConfig cfg = make_aardvark_config(opt);
+
+  search::Scenario sc;
+  sc.system_name = "aardvark";
+  sc.schema = &aardvark_schema();
+
+  sc.testbed.net.nodes = cfg.base.total_nodes();
+  sc.testbed.net.default_link.delay = 1 * kMillisecond;
+  sc.testbed.net.default_link.bandwidth_bps = 1e9;
+  sc.testbed.seed = opt.seed;
+  sc.testbed.cpu.sig_verify = cfg.base.sig_cost;
+  sc.testbed.cpu.sig_sign = cfg.base.sig_cost;
+
+  sc.factory = [cfg](NodeId id) -> std::unique_ptr<vm::GuestNode> {
+    if (cfg.base.is_client(id)) return std::make_unique<AardvarkClient>(cfg.base);
+    return std::make_unique<AardvarkReplica>(cfg);
+  };
+
+  sc.malicious = {opt.malicious_primary ? NodeId{0} : NodeId{1}};
+
+  sc.metric.name = "updates";
+  sc.metric.kind = search::MetricSpec::Kind::kRate;
+  sc.metric.higher_is_better = true;
+  return sc;
+}
+
+}  // namespace turret::systems::aardvark

@@ -1,0 +1,19 @@
+// Scenario builders for Aardvark (paper §V-C).
+#pragma once
+
+#include "search/scenario.h"
+#include "systems/aardvark/aardvark_replica.h"
+
+namespace turret::systems::aardvark {
+
+struct AardvarkScenarioOptions {
+  bool malicious_primary = true;
+  bool verify_signatures = true;
+  std::uint64_t seed = 46;
+};
+
+const wire::Schema& aardvark_schema();
+search::Scenario make_aardvark_scenario(const AardvarkScenarioOptions& opt = {});
+AardvarkConfig make_aardvark_config(const AardvarkScenarioOptions& opt = {});
+
+}  // namespace turret::systems::aardvark

@@ -1,0 +1,57 @@
+#include "systems/pbft/pbft_scenario.h"
+
+#include "systems/pbft/pbft_client.h"
+#include "systems/pbft/pbft_replica.h"
+
+namespace turret::systems::pbft {
+
+const wire::Schema& pbft_schema() {
+  static const wire::Schema schema = wire::parse_schema(kSchema);
+  return schema;
+}
+
+BftConfig make_pbft_config(const PbftScenarioOptions& opt) {
+  BftConfig cfg;
+  cfg.n = opt.n;
+  cfg.f = opt.f;
+  cfg.clients = 1;
+  cfg.verify_signatures = opt.verify_signatures;
+  if (opt.crash_primary_at > 0) {
+    cfg.scheduled_crash_node = 0;
+    cfg.scheduled_crash_at = opt.crash_primary_at;
+  }
+  return cfg;
+}
+
+search::Scenario make_pbft_scenario(const PbftScenarioOptions& opt) {
+  const BftConfig cfg = make_pbft_config(opt);
+
+  search::Scenario sc;
+  sc.system_name = "pbft";
+  sc.schema = &pbft_schema();
+
+  sc.testbed.net.nodes = cfg.total_nodes();
+  sc.testbed.net.default_link.delay = 1 * kMillisecond;  // paper: 1 ms LAN
+  sc.testbed.net.default_link.bandwidth_bps = 1e9;
+  sc.testbed.seed = opt.seed;
+  sc.testbed.cpu.sig_verify = cfg.sig_cost;
+  sc.testbed.cpu.sig_sign = cfg.sig_cost;
+
+  sc.factory = [cfg](NodeId id) -> std::unique_ptr<vm::GuestNode> {
+    if (cfg.is_client(id)) return std::make_unique<PbftClient>(cfg);
+    return std::make_unique<PbftReplica>(cfg);
+  };
+
+  if (opt.malicious_primary) {
+    sc.malicious = {0};  // replica 0 is the view-0 primary
+  } else {
+    sc.malicious = {1};
+  }
+
+  sc.metric.name = "updates";
+  sc.metric.kind = search::MetricSpec::Kind::kRate;
+  sc.metric.higher_is_better = true;
+  return sc;
+}
+
+}  // namespace turret::systems::pbft

@@ -1,0 +1,37 @@
+// Scenario builders for running Turret against PBFT (paper §V-B).
+//
+// Two configurations, mirroring the paper:
+//   * 4 servers (f = 1), malicious primary or malicious backup, one client —
+//     the normal-case / status / duplication attack surface;
+//   * 7 servers (f = 2) with one scheduled benign crash of the primary, which
+//     makes View-Change / New-View traffic flow so lying attacks on those
+//     messages have injection points.
+#pragma once
+
+#include "search/scenario.h"
+#include "systems/replication/config.h"
+
+namespace turret::systems::pbft {
+
+struct PbftScenarioOptions {
+  std::uint32_t n = 4;
+  std::uint32_t f = 1;
+  bool malicious_primary = true;  ///< else: one malicious backup (replica 1)
+  bool verify_signatures = true;  ///< paper turns this off to explore lying
+  /// Crash replica 0 (the initial primary) at this time; 0 = never. Used by
+  /// the 7-server view-change configuration.
+  Duration crash_primary_at = 0;
+  std::uint64_t seed = 42;
+};
+
+/// The parsed PBFT wire schema (one instance for the process lifetime).
+const wire::Schema& pbft_schema();
+
+/// Build a full search scenario (testbed config, guest factory, schema,
+/// malicious set, metric, Δ/w defaults from the paper).
+search::Scenario make_pbft_scenario(const PbftScenarioOptions& opt = {});
+
+/// The BftConfig a scenario uses (exposed for tests and benches).
+BftConfig make_pbft_config(const PbftScenarioOptions& opt = {});
+
+}  // namespace turret::systems::pbft

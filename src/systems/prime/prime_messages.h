@@ -1,0 +1,253 @@
+// Prime wire messages (Amir et al., "Byzantine replication under attack", as
+// probed in paper §V-C).
+//
+// Prime separates pre-ordering from global ordering: any replica that
+// receives a client update broadcasts a PO-Request; peers acknowledge with
+// PO-Acks; replicas periodically broadcast PO-Summary vectors advertising the
+// pre-ordered updates they have; the leader periodically embeds a matrix of
+// summaries in a Pre-Prepare, which goes through Prepare/Commit. An update
+// executes once the committed matrix shows enough summaries cover it.
+//
+// Reproduced findings: (1) dropping PO-Summary halts progress even though a
+// quorum exists — the implementation's eligibility check wants a summary
+// from EVERY replica; (2) lying on Pre-Prepare sequence numbers stops
+// ordering without ever tripping the suspect-leader TAT monitor (the
+// paper's "most interesting attack"); (3) the usual unchecked count fields.
+#pragma once
+
+#include "common/bytes.h"
+#include "wire/message.h"
+
+namespace turret::systems::prime {
+
+enum Tag : wire::TypeTag {
+  kUpdate = 1,
+  kPORequest = 2,
+  kPOAck = 3,
+  kPOSummary = 4,
+  kPrePrepare = 5,
+  kPrepare = 6,
+  kCommit = 7,
+  kReply = 8,
+  kNewLeader = 9,
+};
+
+inline constexpr char kSchema[] = R"(
+protocol prime;
+
+message Update = 1 {
+  u32   client;
+  u64   timestamp;
+  bytes payload;
+}
+
+message PORequest = 2 {
+  u32   origin;
+  u64   po_seq;
+  bytes update;
+}
+
+message POAck = 3 {
+  u32   origin;
+  u64   po_seq;
+  u32   replica;
+}
+
+message POSummary = 4 {
+  u32   replica;
+  i32   n_entries;   # UNCHECKED count of vector entries
+  bytes vector;      # per-origin cumulative po_seq (8 bytes each)
+}
+
+message PrePrepare = 5 {
+  u32   view;
+  u64   seq;         # trusted for ordering (the suspect-leader bypass)
+  u32   leader;
+  i32   n_rows;      # UNCHECKED count of matrix rows
+  bytes matrix;      # concatenated summary vectors
+}
+
+message Prepare = 6 {
+  u32   view;
+  u64   seq;
+  u32   replica;
+  bytes digest;
+}
+
+message Commit = 7 {
+  u32   view;
+  u64   seq;
+  u32   replica;
+  bytes digest;
+}
+
+message Reply = 8 {
+  u64   timestamp;
+  u32   client;
+  u32   replica;
+  bytes result;
+}
+
+message NewLeader = 9 {
+  u32   new_view;
+  u32   replica;
+  i32   n_proofs;    # UNCHECKED count of suspicion proofs
+}
+)";
+
+struct Update {
+  std::uint32_t client{};
+  std::uint64_t timestamp{};
+  Bytes payload;
+  Bytes encode() const {
+    return wire::MessageWriter(kUpdate).u32(client).u64(timestamp).bytes(payload).take();
+  }
+  static Update decode(wire::MessageReader& r) {
+    Update m;
+    m.client = r.u32();
+    m.timestamp = r.u64();
+    m.payload = r.bytes();
+    return m;
+  }
+};
+
+struct PORequest {
+  std::uint32_t origin{};
+  std::uint64_t po_seq{};
+  Bytes update;
+  Bytes encode() const {
+    return wire::MessageWriter(kPORequest).u32(origin).u64(po_seq).bytes(update).take();
+  }
+  static PORequest decode(wire::MessageReader& r) {
+    PORequest m;
+    m.origin = r.u32();
+    m.po_seq = r.u64();
+    m.update = r.bytes();
+    return m;
+  }
+};
+
+struct POAck {
+  std::uint32_t origin{};
+  std::uint64_t po_seq{};
+  std::uint32_t replica{};
+  Bytes encode() const {
+    return wire::MessageWriter(kPOAck).u32(origin).u64(po_seq).u32(replica).take();
+  }
+  static POAck decode(wire::MessageReader& r) {
+    POAck m;
+    m.origin = r.u32();
+    m.po_seq = r.u64();
+    m.replica = r.u32();
+    return m;
+  }
+};
+
+struct POSummary {
+  std::uint32_t replica{};
+  std::int32_t n_entries{};
+  Bytes vector;
+  Bytes encode() const {
+    return wire::MessageWriter(kPOSummary).u32(replica).i32(n_entries).bytes(vector).take();
+  }
+  static POSummary decode(wire::MessageReader& r) {
+    POSummary m;
+    m.replica = r.u32();
+    m.n_entries = r.i32();
+    m.vector = r.bytes();
+    return m;
+  }
+};
+
+struct PrePrepare {
+  std::uint32_t view{};
+  std::uint64_t seq{};
+  std::uint32_t leader{};
+  std::int32_t n_rows{};
+  Bytes matrix;
+  Bytes encode() const {
+    return wire::MessageWriter(kPrePrepare)
+        .u32(view).u64(seq).u32(leader).i32(n_rows).bytes(matrix).take();
+  }
+  static PrePrepare decode(wire::MessageReader& r) {
+    PrePrepare m;
+    m.view = r.u32();
+    m.seq = r.u64();
+    m.leader = r.u32();
+    m.n_rows = r.i32();
+    m.matrix = r.bytes();
+    return m;
+  }
+};
+
+struct Prepare {
+  std::uint32_t view{};
+  std::uint64_t seq{};
+  std::uint32_t replica{};
+  Bytes digest;
+  Bytes encode() const {
+    return wire::MessageWriter(kPrepare).u32(view).u64(seq).u32(replica).bytes(digest).take();
+  }
+  static Prepare decode(wire::MessageReader& r) {
+    Prepare m;
+    m.view = r.u32();
+    m.seq = r.u64();
+    m.replica = r.u32();
+    m.digest = r.bytes();
+    return m;
+  }
+};
+
+struct Commit {
+  std::uint32_t view{};
+  std::uint64_t seq{};
+  std::uint32_t replica{};
+  Bytes digest;
+  Bytes encode() const {
+    return wire::MessageWriter(kCommit).u32(view).u64(seq).u32(replica).bytes(digest).take();
+  }
+  static Commit decode(wire::MessageReader& r) {
+    Commit m;
+    m.view = r.u32();
+    m.seq = r.u64();
+    m.replica = r.u32();
+    m.digest = r.bytes();
+    return m;
+  }
+};
+
+struct Reply {
+  std::uint64_t timestamp{};
+  std::uint32_t client{};
+  std::uint32_t replica{};
+  Bytes result;
+  Bytes encode() const {
+    return wire::MessageWriter(kReply).u64(timestamp).u32(client).u32(replica).bytes(result).take();
+  }
+  static Reply decode(wire::MessageReader& r) {
+    Reply m;
+    m.timestamp = r.u64();
+    m.client = r.u32();
+    m.replica = r.u32();
+    m.result = r.bytes();
+    return m;
+  }
+};
+
+struct NewLeader {
+  std::uint32_t new_view{};
+  std::uint32_t replica{};
+  std::int32_t n_proofs{};
+  Bytes encode() const {
+    return wire::MessageWriter(kNewLeader).u32(new_view).u32(replica).i32(n_proofs).take();
+  }
+  static NewLeader decode(wire::MessageReader& r) {
+    NewLeader m;
+    m.new_view = r.u32();
+    m.replica = r.u32();
+    m.n_proofs = r.i32();
+    return m;
+  }
+};
+
+}  // namespace turret::systems::prime

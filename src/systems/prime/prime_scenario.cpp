@@ -1,0 +1,49 @@
+#include "systems/prime/prime_scenario.h"
+
+#include "systems/prime/prime_client.h"
+
+namespace turret::systems::prime {
+
+const wire::Schema& prime_schema() {
+  static const wire::Schema schema = wire::parse_schema(kSchema);
+  return schema;
+}
+
+PrimeConfig make_prime_config(const PrimeScenarioOptions& opt) {
+  PrimeConfig cfg;
+  cfg.base.n = 4;
+  cfg.base.f = 1;
+  cfg.base.clients = 1;
+  cfg.base.verify_signatures = opt.verify_signatures;
+  return cfg;
+}
+
+search::Scenario make_prime_scenario(const PrimeScenarioOptions& opt) {
+  const PrimeConfig cfg = make_prime_config(opt);
+
+  search::Scenario sc;
+  sc.system_name = "prime";
+  sc.schema = &prime_schema();
+
+  sc.testbed.net.nodes = cfg.base.total_nodes();
+  sc.testbed.net.default_link.delay = 1 * kMillisecond;
+  sc.testbed.net.default_link.bandwidth_bps = 1e9;
+  sc.testbed.seed = opt.seed;
+  sc.testbed.cpu.sig_verify = cfg.base.sig_cost;
+  sc.testbed.cpu.sig_sign = cfg.base.sig_cost;
+
+  const NodeId origin = 1;
+  sc.factory = [cfg, origin](NodeId id) -> std::unique_ptr<vm::GuestNode> {
+    if (cfg.base.is_client(id)) return std::make_unique<PrimeClient>(cfg, origin);
+    return std::make_unique<PrimeReplica>(cfg);
+  };
+
+  sc.malicious = {opt.malicious_leader ? NodeId{0} : NodeId{3}};
+
+  sc.metric.name = "updates";
+  sc.metric.kind = search::MetricSpec::Kind::kRate;
+  sc.metric.higher_is_better = true;
+  return sc;
+}
+
+}  // namespace turret::systems::prime

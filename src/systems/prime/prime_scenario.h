@@ -1,0 +1,22 @@
+// Scenario builders for Prime (paper §V-C): 4 replicas, 1 client submitting
+// through origin replica 1. Two malicious placements: a non-leader replica
+// (PO-Summary withholding halts the system through the eligibility bug) and
+// the leader (sequence-number lies bypass the suspect-leader monitor).
+#pragma once
+
+#include "search/scenario.h"
+#include "systems/prime/prime_replica.h"
+
+namespace turret::systems::prime {
+
+struct PrimeScenarioOptions {
+  bool malicious_leader = false;  ///< true: replica 0 (the view-0 leader)
+  bool verify_signatures = true;
+  std::uint64_t seed = 45;
+};
+
+const wire::Schema& prime_schema();
+search::Scenario make_prime_scenario(const PrimeScenarioOptions& opt = {});
+PrimeConfig make_prime_config(const PrimeScenarioOptions& opt = {});
+
+}  // namespace turret::systems::prime

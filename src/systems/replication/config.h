@@ -1,0 +1,48 @@
+// Shared configuration for the BFT replication systems under test.
+//
+// Node-id layout convention used by every system in src/systems: replicas
+// occupy ids [0, n), clients [n, n + clients). The scenario builders place
+// the malicious set inside the replicas.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace turret::systems {
+
+struct BftConfig {
+  std::uint32_t n = 4;        ///< replicas (3f + 1)
+  std::uint32_t f = 1;        ///< tolerated Byzantine faults
+  std::uint32_t clients = 1;  ///< closed-loop clients (paper: 1, no pipelining)
+
+  /// When false, guests skip signature verification cost/logic — the paper
+  /// turns verification off to explore lying attacks with the proxy (§V).
+  bool verify_signatures = true;
+  Duration sig_cost = 200 * kMicrosecond;  ///< sign or verify one signature
+  Duration mac_cost = 60 * kMicrosecond;  ///< per-destination authenticator
+
+  Duration client_timeout = 500 * kMillisecond;  ///< retry/broadcast request
+  Duration progress_timeout = 5 * kSecond;       ///< recovery-protocol timer (paper §V)
+  Duration status_period = 300 * kMillisecond;   ///< anti-entropy period
+  std::uint32_t checkpoint_interval = 128;
+  /// Status gap beyond which a replica sends a stable checkpoint instead of
+  /// retransmitting individual messages (paper §V-B, Delay Status analysis).
+  std::uint32_t retransmit_gap_limit = 256;
+
+  /// Benign fault schedule: crash this replica at this time (0 = never).
+  /// Used by scenario variants that need recovery traffic (e.g. PBFT's
+  /// 7-server configuration for View-Change attacks).
+  NodeId scheduled_crash_node = kNoNode;
+  Duration scheduled_crash_at = 0;
+
+  std::size_t payload_size = 64;  ///< client update payload bytes
+
+  std::uint32_t replicas() const { return n; }
+  std::uint32_t total_nodes() const { return n + clients; }
+  NodeId client_id(std::uint32_t i = 0) const { return n + i; }
+  bool is_client(NodeId id) const { return id >= n && id < total_nodes(); }
+  std::uint32_t quorum() const { return 2 * f + 1; }
+};
+
+}  // namespace turret::systems

@@ -1,0 +1,33 @@
+// Simulated message authentication.
+//
+// The platform reproduces the *cost structure* of signatures and MACs — the
+// mechanism behind duplication/flooding DoS and behind retransmission storms
+// (PBFT recomputes per-destination authenticators when retransmitting). The
+// paper runs lying explorations with signature verification disabled so the
+// proxy's forged fields are not rejected; BftConfig::verify_signatures is
+// that switch. Guests charge the costs through GuestContext::consume_cpu.
+#pragma once
+
+#include "systems/replication/config.h"
+#include "vm/guest.h"
+
+namespace turret::systems {
+
+/// Charge the cost of verifying one signed message (no-op when verification
+/// is disabled, matching the paper's lying-exploration configuration).
+inline void charge_verify(vm::GuestContext& ctx, const BftConfig& cfg) {
+  if (cfg.verify_signatures) ctx.consume_cpu(cfg.sig_cost);
+}
+
+/// Charge the cost of signing one message.
+inline void charge_sign(vm::GuestContext& ctx, const BftConfig& cfg) {
+  if (cfg.verify_signatures) ctx.consume_cpu(cfg.sig_cost);
+}
+
+/// Charge the cost of computing a per-destination authenticator (MAC); paid
+/// on retransmission paths even when they reuse stored signed messages.
+inline void charge_mac(vm::GuestContext& ctx, const BftConfig& cfg) {
+  ctx.consume_cpu(cfg.mac_cost);
+}
+
+}  // namespace turret::systems

@@ -1,0 +1,45 @@
+// Helpers that reproduce the implementation bugs the paper's crash attacks
+// exploit — and their hardened counterparts.
+//
+// The original targets trusted length/size fields from the wire: a negative
+// value, sign-converted to size_t, fed to a resize/memcpy, segfaulted every
+// benign replica. Our guests call unchecked_length() at the same spots; the
+// failure is a GuestFault the VM boundary converts to a crash. Hardened
+// systems (Aardvark's validation, Prime's partial checks) use
+// validated_length() instead and drop the message.
+#pragma once
+
+#include <cstdint>
+
+#include "vm/guest.h"
+
+namespace turret::systems {
+
+/// What a guest can plausibly allocate for one message's variable-length
+/// structure before a native build would have faulted or died in OOM.
+constexpr std::int64_t kGuestAllocLimit = 1 << 20;
+
+/// Use a wire-supplied length WITHOUT validation — the bug under test. A
+/// negative value reproduces the sign-conversion segfault; an absurdly large
+/// one reproduces the allocation blow-up. Returns the length if survivable.
+inline std::size_t unchecked_length(std::int64_t n) {
+  // This is what `buf.resize(n)` with n = -1 does in the original binaries:
+  // the implicit conversion makes it huge and the process dies.
+  const auto as_size = static_cast<std::uint64_t>(n);
+  if (as_size > static_cast<std::uint64_t>(kGuestAllocLimit)) {
+    throw vm::GuestFault("segmentation fault: length " + std::to_string(n) +
+                         " trusted from the wire");
+  }
+  return static_cast<std::size_t>(n);
+}
+
+/// The hardened version: returns false (caller drops the message) instead of
+/// faulting.
+inline bool validated_length(std::int64_t n, std::size_t limit,
+                             std::size_t* out) {
+  if (n < 0 || static_cast<std::uint64_t>(n) > limit) return false;
+  *out = static_cast<std::size_t>(n);
+  return true;
+}
+
+}  // namespace turret::systems

@@ -1,0 +1,305 @@
+// Steward wire messages (Amir et al., as probed in paper §V-C).
+//
+// Steward is hierarchical BFT for wide-area networks: each site runs a local
+// BFT agreement and sites exchange threshold-signed Proposal/Accept messages
+// over the WAN. One Accept represents a whole site (a combined threshold
+// signature), which is why a single Accept suffices globally — and why the
+// fault-masking retransmission path (re-sending a Proposal to every replica
+// of the remote site, any of which can produce the site's Accept) exists.
+// That masking path is the mechanism behind the paper's counter-intuitive
+// Drop-Accept finding: performance pins at the retry period (≈0.4 updates/s)
+// and no view change ever fires.
+//
+// CCSUnion (collective-state union) messages carry aggregated, threshold-
+// signed site state; verifying one is expensive — the lever behind the
+// paper's duplication DoS findings on Steward.
+#pragma once
+
+#include "common/bytes.h"
+#include "wire/message.h"
+
+namespace turret::systems::steward {
+
+enum Tag : wire::TypeTag {
+  kUpdate = 1,
+  kLocalPrePrepare = 2,
+  kLocalPrepare = 3,
+  kProposal = 4,
+  kAccept = 5,
+  kGlobalOrder = 6,
+  kReply = 7,
+  kCCSUnion = 8,
+  kGlobalViewChange = 9,
+  kLocalViewChange = 10,
+};
+
+inline constexpr char kSchema[] = R"(
+protocol steward;
+
+message Update = 1 {
+  u32   client;
+  u64   timestamp;
+  bytes payload;
+}
+
+message LocalPrePrepare = 2 {
+  u32   site;
+  u32   local_view;
+  u64   seq;
+  i32   n_updates;     # UNCHECKED batch count
+  bytes request;
+}
+
+message LocalPrepare = 3 {
+  u32   site;
+  u32   local_view;
+  u64   seq;
+  u32   replica;
+  bytes digest;
+}
+
+message Proposal = 4 {
+  u32   global_view;
+  u64   seq;
+  u32   site;
+  bytes request;
+}
+
+message Accept = 5 {
+  u32   global_view;
+  u64   seq;
+  u32   site;
+  u32   replica;
+}
+
+message GlobalOrder = 6 {
+  u32   global_view;
+  u64   seq;
+  bytes request;
+}
+
+message Reply = 7 {
+  u64   timestamp;
+  u32   client;
+  u32   replica;
+  bytes result;
+}
+
+message CCSUnion = 8 {
+  u32   global_view;
+  u32   site;
+  u32   replica;
+  i32   n_entries;     # UNCHECKED count of aggregated entries
+  bytes aggregate;
+}
+
+message GlobalViewChange = 9 {
+  u32   new_global_view;
+  u32   site;
+  u32   replica;
+  i32   n_proofs;      # UNCHECKED count of bundled proofs
+  bytes proof;
+}
+
+message LocalViewChange = 10 {
+  u32   site;
+  u32   new_local_view;
+  u32   replica;
+  i32   n_proofs;      # UNCHECKED count of bundled proofs
+}
+)";
+
+struct Update {
+  std::uint32_t client{};
+  std::uint64_t timestamp{};
+  Bytes payload;
+  Bytes encode() const {
+    return wire::MessageWriter(kUpdate).u32(client).u64(timestamp).bytes(payload).take();
+  }
+  static Update decode(wire::MessageReader& r) {
+    Update m;
+    m.client = r.u32();
+    m.timestamp = r.u64();
+    m.payload = r.bytes();
+    return m;
+  }
+};
+
+struct LocalPrePrepare {
+  std::uint32_t site{};
+  std::uint32_t local_view{};
+  std::uint64_t seq{};
+  std::int32_t n_updates{};
+  Bytes request;
+  Bytes encode() const {
+    return wire::MessageWriter(kLocalPrePrepare)
+        .u32(site).u32(local_view).u64(seq).i32(n_updates).bytes(request).take();
+  }
+  static LocalPrePrepare decode(wire::MessageReader& r) {
+    LocalPrePrepare m;
+    m.site = r.u32();
+    m.local_view = r.u32();
+    m.seq = r.u64();
+    m.n_updates = r.i32();
+    m.request = r.bytes();
+    return m;
+  }
+};
+
+struct LocalPrepare {
+  std::uint32_t site{};
+  std::uint32_t local_view{};
+  std::uint64_t seq{};
+  std::uint32_t replica{};
+  Bytes digest;
+  Bytes encode() const {
+    return wire::MessageWriter(kLocalPrepare)
+        .u32(site).u32(local_view).u64(seq).u32(replica).bytes(digest).take();
+  }
+  static LocalPrepare decode(wire::MessageReader& r) {
+    LocalPrepare m;
+    m.site = r.u32();
+    m.local_view = r.u32();
+    m.seq = r.u64();
+    m.replica = r.u32();
+    m.digest = r.bytes();
+    return m;
+  }
+};
+
+struct Proposal {
+  std::uint32_t global_view{};
+  std::uint64_t seq{};
+  std::uint32_t site{};
+  Bytes request;
+  Bytes encode() const {
+    return wire::MessageWriter(kProposal)
+        .u32(global_view).u64(seq).u32(site).bytes(request).take();
+  }
+  static Proposal decode(wire::MessageReader& r) {
+    Proposal m;
+    m.global_view = r.u32();
+    m.seq = r.u64();
+    m.site = r.u32();
+    m.request = r.bytes();
+    return m;
+  }
+};
+
+struct Accept {
+  std::uint32_t global_view{};
+  std::uint64_t seq{};
+  std::uint32_t site{};
+  std::uint32_t replica{};
+  Bytes encode() const {
+    return wire::MessageWriter(kAccept)
+        .u32(global_view).u64(seq).u32(site).u32(replica).take();
+  }
+  static Accept decode(wire::MessageReader& r) {
+    Accept m;
+    m.global_view = r.u32();
+    m.seq = r.u64();
+    m.site = r.u32();
+    m.replica = r.u32();
+    return m;
+  }
+};
+
+struct GlobalOrder {
+  std::uint32_t global_view{};
+  std::uint64_t seq{};
+  Bytes request;
+  Bytes encode() const {
+    return wire::MessageWriter(kGlobalOrder)
+        .u32(global_view).u64(seq).bytes(request).take();
+  }
+  static GlobalOrder decode(wire::MessageReader& r) {
+    GlobalOrder m;
+    m.global_view = r.u32();
+    m.seq = r.u64();
+    m.request = r.bytes();
+    return m;
+  }
+};
+
+struct Reply {
+  std::uint64_t timestamp{};
+  std::uint32_t client{};
+  std::uint32_t replica{};
+  Bytes result;
+  Bytes encode() const {
+    return wire::MessageWriter(kReply)
+        .u64(timestamp).u32(client).u32(replica).bytes(result).take();
+  }
+  static Reply decode(wire::MessageReader& r) {
+    Reply m;
+    m.timestamp = r.u64();
+    m.client = r.u32();
+    m.replica = r.u32();
+    m.result = r.bytes();
+    return m;
+  }
+};
+
+struct CCSUnion {
+  std::uint32_t global_view{};
+  std::uint32_t site{};
+  std::uint32_t replica{};
+  std::int32_t n_entries{};
+  Bytes aggregate;
+  Bytes encode() const {
+    return wire::MessageWriter(kCCSUnion)
+        .u32(global_view).u32(site).u32(replica).i32(n_entries).bytes(aggregate).take();
+  }
+  static CCSUnion decode(wire::MessageReader& r) {
+    CCSUnion m;
+    m.global_view = r.u32();
+    m.site = r.u32();
+    m.replica = r.u32();
+    m.n_entries = r.i32();
+    m.aggregate = r.bytes();
+    return m;
+  }
+};
+
+struct GlobalViewChange {
+  std::uint32_t new_global_view{};
+  std::uint32_t site{};
+  std::uint32_t replica{};
+  std::int32_t n_proofs{};
+  Bytes proof;
+  Bytes encode() const {
+    return wire::MessageWriter(kGlobalViewChange)
+        .u32(new_global_view).u32(site).u32(replica).i32(n_proofs).bytes(proof).take();
+  }
+  static GlobalViewChange decode(wire::MessageReader& r) {
+    GlobalViewChange m;
+    m.new_global_view = r.u32();
+    m.site = r.u32();
+    m.replica = r.u32();
+    m.n_proofs = r.i32();
+    m.proof = r.bytes();
+    return m;
+  }
+};
+
+struct LocalViewChange {
+  std::uint32_t site{};
+  std::uint32_t new_local_view{};
+  std::uint32_t replica{};
+  std::int32_t n_proofs{};
+  Bytes encode() const {
+    return wire::MessageWriter(kLocalViewChange)
+        .u32(site).u32(new_local_view).u32(replica).i32(n_proofs).take();
+  }
+  static LocalViewChange decode(wire::MessageReader& r) {
+    LocalViewChange m;
+    m.site = r.u32();
+    m.new_local_view = r.u32();
+    m.replica = r.u32();
+    m.n_proofs = r.i32();
+    return m;
+  }
+};
+
+}  // namespace turret::systems::steward

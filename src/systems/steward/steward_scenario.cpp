@@ -1,0 +1,68 @@
+#include "systems/steward/steward_scenario.h"
+
+#include "systems/steward/steward_client.h"
+
+namespace turret::systems::steward {
+
+const wire::Schema& steward_schema() {
+  static const wire::Schema schema = wire::parse_schema(kSchema);
+  return schema;
+}
+
+StewardConfig make_steward_config(const StewardScenarioOptions& opt) {
+  StewardConfig cfg;
+  cfg.base.n = cfg.replicas();
+  cfg.base.f = 1;
+  cfg.base.clients = 1;
+  cfg.base.verify_signatures = opt.verify_signatures;
+  if (opt.crash_rep_at > 0) {
+    cfg.base.scheduled_crash_node = 0;
+    cfg.base.scheduled_crash_at = opt.crash_rep_at;
+  }
+  return cfg;
+}
+
+search::Scenario make_steward_scenario(const StewardScenarioOptions& opt) {
+  const StewardConfig cfg = make_steward_config(opt);
+
+  search::Scenario sc;
+  sc.system_name = "steward";
+  sc.schema = &steward_schema();
+
+  const std::uint32_t nodes = cfg.replicas() + 1;  // + client
+  sc.testbed.net.nodes = nodes;
+  sc.testbed.net.default_link.delay = 1 * kMillisecond;   // intra-site LAN
+  sc.testbed.net.default_link.bandwidth_bps = 1e9;
+  // Inter-site links are wide-area: 12 ms, 50 Mbps.
+  for (NodeId a = 0; a < cfg.replicas(); ++a) {
+    for (NodeId b = 0; b < cfg.replicas(); ++b) {
+      if (cfg.site_of(a) != cfg.site_of(b)) {
+        netem::LinkSpec wan;
+        wan.delay = 12 * kMillisecond;
+        wan.bandwidth_bps = 50e6;
+        sc.testbed.net.link_overrides[netem::NetConfig::pair_key(a, b)] = wan;
+      }
+    }
+  }
+  sc.testbed.seed = opt.seed;
+  sc.testbed.cpu.sig_verify = cfg.base.sig_cost;
+  sc.testbed.cpu.sig_sign = cfg.base.sig_cost;
+
+  sc.factory = [cfg](NodeId id) -> std::unique_ptr<vm::GuestNode> {
+    if (id >= cfg.replicas()) return std::make_unique<StewardClient>(cfg);
+    return std::make_unique<StewardReplica>(cfg);
+  };
+
+  sc.malicious = {opt.malicious};
+
+  sc.metric.name = "updates";
+  sc.metric.kind = search::MetricSpec::Kind::kRate;
+  sc.metric.higher_is_better = true;
+  // Steward is an order of magnitude slower than PBFT (WAN round trips);
+  // give discovery a longer horizon so rarer message types appear.
+  sc.warmup = 3 * kSecond;
+  sc.duration = 30 * kSecond;
+  return sc;
+}
+
+}  // namespace turret::systems::steward

@@ -1,0 +1,26 @@
+// Scenario builders for Steward (paper §V-C): 2 sites × 4 replicas on a WAN
+// (20 ms inter-site links, 1 ms intra-site), one client at the leader site.
+#pragma once
+
+#include "search/scenario.h"
+#include "systems/steward/steward_replica.h"
+
+namespace turret::systems::steward {
+
+struct StewardScenarioOptions {
+  /// Which replica is malicious: the remote site's representative (4) probes
+  /// the Accept path; the leader site's representative (0) probes
+  /// LocalPrePrepare/Proposal/GlobalOrder.
+  NodeId malicious = 4;
+  bool verify_signatures = true;
+  /// Crash the leader-site representative to make recovery (local/global
+  /// view change, CCS) traffic flow; 0 = never.
+  Duration crash_rep_at = 0;
+  std::uint64_t seed = 44;
+};
+
+const wire::Schema& steward_schema();
+search::Scenario make_steward_scenario(const StewardScenarioOptions& opt = {});
+StewardConfig make_steward_config(const StewardScenarioOptions& opt = {});
+
+}  // namespace turret::systems::steward

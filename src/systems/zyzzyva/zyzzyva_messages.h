@@ -1,0 +1,225 @@
+// Zyzzyva wire messages (Kotla et al. SOSP'07, as probed in paper §V-C).
+//
+// Zyzzyva is speculative BFT: the primary assigns an order and replicas
+// execute immediately, replying straight to the client. The client accepts on
+// 3f+1 matching speculative replies (fast path); with only 2f+1 it sends a
+// commit certificate and waits for 2f+1 local-commit acks (slow path). The
+// paper's attacks: dropping SpecReply removes the fast path's benefit
+// (latency rises ~35%), and lying on size/sequence fields of OrderRequest and
+// NewView crashes benign replicas — the UNCHECKED fields below.
+#pragma once
+
+#include "common/bytes.h"
+#include "wire/message.h"
+
+namespace turret::systems::zyzzyva {
+
+enum Tag : wire::TypeTag {
+  kRequest = 1,
+  kOrderRequest = 2,
+  kSpecReply = 3,
+  kCommitCert = 4,
+  kLocalCommit = 5,
+  kViewChange = 6,
+  kNewView = 7,
+};
+
+inline constexpr char kSchema[] = R"(
+protocol zyzzyva;
+
+message Request = 1 {
+  u32   client;
+  u64   timestamp;
+  bytes payload;
+}
+
+message OrderRequest = 2 {
+  u32   view;
+  u64   seq;          # trusted for history indexing (paper crash attack)
+  u32   primary;
+  i32   history_size; # UNCHECKED length of the history vector
+  bytes history_digest;
+  bytes request;
+}
+
+message SpecReply = 3 {
+  u32   view;
+  u64   seq;
+  u64   timestamp;
+  u32   client;
+  u32   replica;
+  bytes history_digest;
+  bytes result;
+}
+
+message CommitCert = 4 {
+  u32   view;
+  u64   seq;
+  u64   timestamp;
+  u32   client;
+  u32   n_spec_replies;
+}
+
+message LocalCommit = 5 {
+  u32   view;
+  u64   seq;
+  u32   replica;
+}
+
+message ViewChange = 6 {
+  u32   new_view;
+  u32   replica;
+  i32   n_entries;      # UNCHECKED count of order-request proofs
+  bytes proof;
+}
+
+message NewView = 7 {
+  u32   view;
+  u32   primary;
+  i32   n_view_changes; # UNCHECKED count of bundled view changes
+  bytes proof;
+}
+)";
+
+struct Request {
+  std::uint32_t client{};
+  std::uint64_t timestamp{};
+  Bytes payload;
+  Bytes encode() const {
+    return wire::MessageWriter(kRequest).u32(client).u64(timestamp).bytes(payload).take();
+  }
+  static Request decode(wire::MessageReader& r) {
+    Request m;
+    m.client = r.u32();
+    m.timestamp = r.u64();
+    m.payload = r.bytes();
+    return m;
+  }
+};
+
+struct OrderRequest {
+  std::uint32_t view{};
+  std::uint64_t seq{};
+  std::uint32_t primary{};
+  std::int32_t history_size{};
+  Bytes history_digest;
+  Bytes request;
+  Bytes encode() const {
+    return wire::MessageWriter(kOrderRequest)
+        .u32(view).u64(seq).u32(primary).i32(history_size)
+        .bytes(history_digest).bytes(request).take();
+  }
+  static OrderRequest decode(wire::MessageReader& r) {
+    OrderRequest m;
+    m.view = r.u32();
+    m.seq = r.u64();
+    m.primary = r.u32();
+    m.history_size = r.i32();
+    m.history_digest = r.bytes();
+    m.request = r.bytes();
+    return m;
+  }
+};
+
+struct SpecReply {
+  std::uint32_t view{};
+  std::uint64_t seq{};
+  std::uint64_t timestamp{};
+  std::uint32_t client{};
+  std::uint32_t replica{};
+  Bytes history_digest;
+  Bytes result;
+  Bytes encode() const {
+    return wire::MessageWriter(kSpecReply)
+        .u32(view).u64(seq).u64(timestamp).u32(client).u32(replica)
+        .bytes(history_digest).bytes(result).take();
+  }
+  static SpecReply decode(wire::MessageReader& r) {
+    SpecReply m;
+    m.view = r.u32();
+    m.seq = r.u64();
+    m.timestamp = r.u64();
+    m.client = r.u32();
+    m.replica = r.u32();
+    m.history_digest = r.bytes();
+    m.result = r.bytes();
+    return m;
+  }
+};
+
+struct CommitCert {
+  std::uint32_t view{};
+  std::uint64_t seq{};
+  std::uint64_t timestamp{};
+  std::uint32_t client{};
+  std::uint32_t n_spec_replies{};
+  Bytes encode() const {
+    return wire::MessageWriter(kCommitCert)
+        .u32(view).u64(seq).u64(timestamp).u32(client).u32(n_spec_replies).take();
+  }
+  static CommitCert decode(wire::MessageReader& r) {
+    CommitCert m;
+    m.view = r.u32();
+    m.seq = r.u64();
+    m.timestamp = r.u64();
+    m.client = r.u32();
+    m.n_spec_replies = r.u32();
+    return m;
+  }
+};
+
+struct LocalCommit {
+  std::uint32_t view{};
+  std::uint64_t seq{};
+  std::uint32_t replica{};
+  Bytes encode() const {
+    return wire::MessageWriter(kLocalCommit).u32(view).u64(seq).u32(replica).take();
+  }
+  static LocalCommit decode(wire::MessageReader& r) {
+    LocalCommit m;
+    m.view = r.u32();
+    m.seq = r.u64();
+    m.replica = r.u32();
+    return m;
+  }
+};
+
+struct ViewChange {
+  std::uint32_t new_view{};
+  std::uint32_t replica{};
+  std::int32_t n_entries{};
+  Bytes proof;
+  Bytes encode() const {
+    return wire::MessageWriter(kViewChange)
+        .u32(new_view).u32(replica).i32(n_entries).bytes(proof).take();
+  }
+  static ViewChange decode(wire::MessageReader& r) {
+    ViewChange m;
+    m.new_view = r.u32();
+    m.replica = r.u32();
+    m.n_entries = r.i32();
+    m.proof = r.bytes();
+    return m;
+  }
+};
+
+struct NewView {
+  std::uint32_t view{};
+  std::uint32_t primary{};
+  std::int32_t n_view_changes{};
+  Bytes proof;
+  Bytes encode() const {
+    return wire::MessageWriter(kNewView)
+        .u32(view).u32(primary).i32(n_view_changes).bytes(proof).take();
+  }
+  static NewView decode(wire::MessageReader& r) {
+    NewView m;
+    m.view = r.u32();
+    m.primary = r.u32();
+    m.n_view_changes = r.i32();
+    m.proof = r.bytes();
+    return m;
+  }
+};
+
+}  // namespace turret::systems::zyzzyva

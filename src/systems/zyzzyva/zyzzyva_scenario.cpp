@@ -1,0 +1,49 @@
+#include "systems/zyzzyva/zyzzyva_scenario.h"
+
+#include "systems/zyzzyva/zyzzyva_client.h"
+#include "systems/zyzzyva/zyzzyva_replica.h"
+
+namespace turret::systems::zyzzyva {
+
+const wire::Schema& zyzzyva_schema() {
+  static const wire::Schema schema = wire::parse_schema(kSchema);
+  return schema;
+}
+
+BftConfig make_zyzzyva_config(const ZyzzyvaScenarioOptions& opt) {
+  BftConfig cfg;
+  cfg.n = opt.n;
+  cfg.f = opt.f;
+  cfg.clients = 1;
+  cfg.verify_signatures = opt.verify_signatures;
+  return cfg;
+}
+
+search::Scenario make_zyzzyva_scenario(const ZyzzyvaScenarioOptions& opt) {
+  const BftConfig cfg = make_zyzzyva_config(opt);
+
+  search::Scenario sc;
+  sc.system_name = "zyzzyva";
+  sc.schema = &zyzzyva_schema();
+
+  sc.testbed.net.nodes = cfg.total_nodes();
+  sc.testbed.net.default_link.delay = 1 * kMillisecond;
+  sc.testbed.net.default_link.bandwidth_bps = 1e9;
+  sc.testbed.seed = opt.seed;
+  sc.testbed.cpu.sig_verify = cfg.sig_cost;
+  sc.testbed.cpu.sig_sign = cfg.sig_cost;
+
+  sc.factory = [cfg](NodeId id) -> std::unique_ptr<vm::GuestNode> {
+    if (cfg.is_client(id)) return std::make_unique<ZyzzyvaClient>(cfg);
+    return std::make_unique<ZyzzyvaReplica>(cfg);
+  };
+
+  sc.malicious = {opt.malicious_primary ? NodeId{0} : NodeId{3}};
+
+  sc.metric.name = "latency_ms";
+  sc.metric.kind = search::MetricSpec::Kind::kMean;
+  sc.metric.higher_is_better = false;
+  return sc;
+}
+
+}  // namespace turret::systems::zyzzyva

@@ -1,0 +1,27 @@
+// Scenario builder for running Turret against Zyzzyva (paper §V-C).
+//
+// The performance metric is request latency (lower is better): the paper's
+// Zyzzyva findings are latency numbers — dropping SpecReplies removes the
+// speculative fast path's benefit.
+#pragma once
+
+#include "search/scenario.h"
+#include "systems/replication/config.h"
+
+namespace turret::systems::zyzzyva {
+
+struct ZyzzyvaScenarioOptions {
+  std::uint32_t n = 4;
+  std::uint32_t f = 1;
+  /// Paper's Drop-Reply attack comes from a malicious backup; the primary
+  /// variant probes OrderRequest attacks.
+  bool malicious_primary = false;
+  bool verify_signatures = true;
+  std::uint64_t seed = 43;
+};
+
+const wire::Schema& zyzzyva_schema();
+search::Scenario make_zyzzyva_scenario(const ZyzzyvaScenarioOptions& opt = {});
+BftConfig make_zyzzyva_config(const ZyzzyvaScenarioOptions& opt = {});
+
+}  // namespace turret::systems::zyzzyva

@@ -1,0 +1,168 @@
+// turret-run: command-line front end for the attack-finding platform.
+//
+//   turret-run --system pbft [--algorithm weighted|greedy|brute]
+//              [--malicious primary|backup] [--delta 0.1] [--window 6]
+//              [--duration 20] [--no-verify] [--seed 42] [--list]
+//
+// Builds the named system's scenario, runs the chosen search algorithm, and
+// prints the attack report. This is the binary a user who is not writing C++
+// against the library would drive; systems registered here correspond to the
+// format descriptions in formats/.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "search/algorithms.h"
+#include "systems/aardvark/aardvark_scenario.h"
+#include "systems/pbft/pbft_scenario.h"
+#include "systems/prime/prime_scenario.h"
+#include "systems/steward/steward_scenario.h"
+#include "systems/zyzzyva/zyzzyva_scenario.h"
+
+namespace {
+
+using namespace turret;
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: turret-run --system <name> [options]\n"
+               "\n"
+               "  --system <name>       pbft | steward | zyzzyva | prime | aardvark\n"
+               "  --algorithm <name>    weighted (default) | greedy | brute\n"
+               "  --malicious <role>    primary (default) | backup\n"
+               "  --delta <frac>        damage threshold (default 0.1)\n"
+               "  --window <sec>        observation window w (default 6)\n"
+               "  --duration <sec>      discovery horizon (default per system)\n"
+               "  --seed <n>            scenario seed\n"
+               "  --no-verify           disable signature verification (lying\n"
+               "                        exploration, as in the paper)\n"
+               "  --list                list systems and exit\n");
+}
+
+struct Options {
+  std::string system;
+  std::string algorithm = "weighted";
+  bool malicious_primary = true;
+  double delta = -1;
+  double window_sec = -1;
+  double duration_sec = -1;
+  std::uint64_t seed = 0;
+  bool verify = true;
+};
+
+search::Scenario build_scenario(const Options& o) {
+  search::Scenario sc;
+  if (o.system == "pbft") {
+    systems::pbft::PbftScenarioOptions opt;
+    opt.malicious_primary = o.malicious_primary;
+    opt.verify_signatures = o.verify;
+    if (o.seed) opt.seed = o.seed;
+    sc = systems::pbft::make_pbft_scenario(opt);
+  } else if (o.system == "steward") {
+    systems::steward::StewardScenarioOptions opt;
+    opt.malicious = o.malicious_primary ? NodeId{0} : NodeId{4};
+    opt.verify_signatures = o.verify;
+    if (o.seed) opt.seed = o.seed;
+    sc = systems::steward::make_steward_scenario(opt);
+  } else if (o.system == "zyzzyva") {
+    systems::zyzzyva::ZyzzyvaScenarioOptions opt;
+    opt.malicious_primary = o.malicious_primary;
+    opt.verify_signatures = o.verify;
+    if (o.seed) opt.seed = o.seed;
+    sc = systems::zyzzyva::make_zyzzyva_scenario(opt);
+  } else if (o.system == "prime") {
+    systems::prime::PrimeScenarioOptions opt;
+    opt.malicious_leader = o.malicious_primary;
+    opt.verify_signatures = o.verify;
+    if (o.seed) opt.seed = o.seed;
+    sc = systems::prime::make_prime_scenario(opt);
+  } else if (o.system == "aardvark") {
+    systems::aardvark::AardvarkScenarioOptions opt;
+    opt.malicious_primary = o.malicious_primary;
+    opt.verify_signatures = o.verify;
+    if (o.seed) opt.seed = o.seed;
+    sc = systems::aardvark::make_aardvark_scenario(opt);
+  } else {
+    std::fprintf(stderr, "turret-run: unknown system '%s'\n", o.system.c_str());
+    std::exit(2);
+  }
+  if (o.delta > 0) sc.delta = o.delta;
+  if (o.window_sec > 0) sc.window = static_cast<Duration>(o.window_sec * kSecond);
+  if (o.duration_sec > 0)
+    sc.duration = static_cast<Duration>(o.duration_sec * kSecond);
+  return sc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "turret-run: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--system") {
+      o.system = next();
+    } else if (arg == "--algorithm") {
+      o.algorithm = next();
+    } else if (arg == "--malicious") {
+      const std::string v = next();
+      o.malicious_primary = (v == "primary" || v == "leader");
+    } else if (arg == "--delta") {
+      o.delta = std::atof(next());
+    } else if (arg == "--window") {
+      o.window_sec = std::atof(next());
+    } else if (arg == "--duration") {
+      o.duration_sec = std::atof(next());
+    } else if (arg == "--seed") {
+      o.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--no-verify") {
+      o.verify = false;
+    } else if (arg == "--list") {
+      std::printf("pbft\nsteward\nzyzzyva\nprime\naardvark\n");
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "turret-run: unknown option '%s'\n", arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+  if (o.system.empty()) {
+    usage();
+    return 2;
+  }
+
+  const search::Scenario sc = build_scenario(o);
+  std::printf("system=%s algorithm=%s malicious=%s delta=%.2f w=%s\n",
+              sc.system_name.c_str(), o.algorithm.c_str(),
+              o.malicious_primary ? "primary" : "backup", sc.delta,
+              format_duration(sc.window).c_str());
+
+  search::SearchResult res;
+  if (o.algorithm == "weighted") {
+    res = search::weighted_greedy_search(sc);
+  } else if (o.algorithm == "greedy") {
+    search::GreedyOptions gopt;
+    gopt.max_repetitions = 4;
+    res = search::greedy_search(sc, gopt);
+  } else if (o.algorithm == "brute") {
+    res = search::brute_force_search(sc);
+  } else {
+    std::fprintf(stderr, "turret-run: unknown algorithm '%s'\n",
+                 o.algorithm.c_str());
+    return 2;
+  }
+
+  std::printf("baseline: %.2f\n%s\n", res.baseline_performance,
+              res.summary().c_str());
+  return res.attacks.empty() ? 1 : 0;
+}

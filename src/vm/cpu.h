@@ -1,0 +1,34 @@
+// Guest CPU cost model.
+//
+// The paper's duplication and flooding attacks degrade performance because
+// victims burn real CPU processing junk. In our virtual-time platform that
+// mechanism is reproduced by charging each guest handler a deterministic
+// cost; a guest is single-threaded and run-to-completion, so inputs arriving
+// during a busy period queue behind it — exactly how a saturated replica
+// behaves.
+#pragma once
+
+#include "common/types.h"
+
+namespace turret::vm {
+
+struct CpuModel {
+  /// Fixed dispatch cost of any message handler.
+  Duration handler_base = 30 * kMicrosecond;
+  /// Parsing/copy cost per payload byte.
+  Duration per_byte = 4 * kNanosecond;
+  /// Cost of one signature verification (charged by guests via consume_cpu
+  /// when signature checking is enabled in the scenario).
+  Duration sig_verify = 80 * kMicrosecond;
+  /// Cost of producing a signature.
+  Duration sig_sign = 80 * kMicrosecond;
+  /// Fixed cost of a timer handler.
+  Duration timer_base = 5 * kMicrosecond;
+
+  Duration message_cost(std::size_t payload_bytes) const {
+    return handler_base +
+           per_byte * static_cast<Duration>(payload_bytes);
+  }
+};
+
+}  // namespace turret::vm

@@ -1,0 +1,83 @@
+#include "vm/memory.h"
+
+#include <cstring>
+
+#include "common/check.h"
+#include "common/hash.h"
+#include "common/rng.h"
+
+namespace turret::vm {
+namespace {
+
+// Fill a page with deterministic pseudo-content. Low entropy-rate content
+// (repeating words) models real OS image pages better than pure noise and
+// keeps generation cheap.
+void fill_page(Bytes& data, std::size_t pfn, std::uint64_t seed) {
+  std::uint64_t word = mix64(seed ^ (pfn * 0x9e3779b97f4a7c15ull));
+  std::uint8_t* p = data.data() + pfn * kPageSize;
+  for (std::size_t off = 0; off < kPageSize; off += 8) {
+    std::memcpy(p + off, &word, 8);
+    if ((off & 0x1ff) == 0x1f8) word = mix64(word);  // new word every 512 B
+  }
+}
+
+}  // namespace
+
+void MemoryImage::materialize(const MemoryProfile& profile,
+                              std::uint64_t vm_uid, BytesView guest_state) {
+  heap_pages_ = static_cast<std::uint32_t>(
+      (guest_state.size() + kPageSize - 1) / kPageSize);
+  guest_state_bytes_ = static_cast<std::uint32_t>(guest_state.size());
+  const std::size_t total =
+      profile.os_pages + profile.app_pages + heap_pages_ + profile.unique_pages;
+  data_.assign(total * kPageSize, 0);
+
+  std::size_t pfn = 0;
+  // OS image — same for every VM booted from this profile.
+  for (std::uint32_t i = 0; i < profile.os_pages; ++i, ++pfn)
+    fill_page(data_, pfn, profile.boot_seed ^ 0x05ull);
+  // Application image — also shared.
+  for (std::uint32_t i = 0; i < profile.app_pages; ++i, ++pfn)
+    fill_page(data_, pfn, profile.boot_seed ^ 0xa9ull);
+  // Heap: the guest's serialized state.
+  heap_start_pfn_ = static_cast<std::uint32_t>(pfn);
+  if (!guest_state.empty()) {
+    std::memcpy(data_.data() + pfn * kPageSize, guest_state.data(),
+                guest_state.size());
+  }
+  pfn += heap_pages_;
+  // Unique region — differs per VM.
+  for (std::uint32_t i = 0; i < profile.unique_pages; ++i, ++pfn)
+    fill_page(data_, pfn, mix64(vm_uid) ^ (0x1234abcdull + i));
+}
+
+Bytes MemoryImage::extract_guest_state() const {
+  const std::size_t off = static_cast<std::size_t>(heap_start_pfn_) * kPageSize;
+  TURRET_CHECK(off + guest_state_bytes_ <= data_.size());
+  return Bytes(data_.begin() + static_cast<std::ptrdiff_t>(off),
+               data_.begin() + static_cast<std::ptrdiff_t>(off + guest_state_bytes_));
+}
+
+void MemoryImage::save_meta(serial::Writer& w) const {
+  w.u32(heap_start_pfn_);
+  w.u32(heap_pages_);
+  w.u32(guest_state_bytes_);
+}
+
+void MemoryImage::load_meta(serial::Reader& r) {
+  heap_start_pfn_ = r.u32();
+  heap_pages_ = r.u32();
+  guest_state_bytes_ = r.u32();
+}
+
+void MemoryImage::set_page(std::size_t pfn, BytesView content) {
+  TURRET_CHECK(content.size() == kPageSize);
+  TURRET_CHECK(pfn < page_count());
+  std::memcpy(data_.data() + pfn * kPageSize, content.data(), kPageSize);
+}
+
+std::uint64_t MemoryImage::page_hash(std::size_t pfn) const {
+  return fnv1a(page(pfn));
+}
+
+}  // namespace turret::vm

@@ -1,0 +1,85 @@
+// Paged VM memory images.
+//
+// The paper's page-sharing-aware snapshot management (§IV-C) exploits that
+// co-located VMs have many identical memory pages (same guest OS, same
+// libraries, same application binary) — KSM merges them at run time and the
+// modified KVM writes each shared page once, into a shared page map, with
+// per-VM snapshots holding only a pfn reference.
+//
+// Here a MemoryImage is the paged view of one VM: a deterministic "OS image"
+// region and "application image" region (identical across VMs booted from
+// the same profile), a heap region holding the guest's serialized protocol
+// state, and a per-VM unique region (stacks, buffers). Identical-page
+// detection, the shared map, and save/load live in snapshot.h.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "serial/serial.h"
+
+namespace turret::vm {
+
+constexpr std::size_t kPageSize = 4096;
+
+/// Shape of a VM's memory. Defaults model a small appliance guest scaled
+/// down from the paper's 128 MiB VMs (documented in DESIGN.md): the OS and
+/// application images are sharable across VMs, heap and unique regions are
+/// not.
+struct MemoryProfile {
+  std::uint32_t os_pages = 1024;      ///< 4 MiB guest OS image, shared
+  std::uint32_t app_pages = 256;      ///< 1 MiB application image, shared
+  std::uint32_t unique_pages = 1536;  ///< 6 MiB stacks/buffers, per-VM
+  std::uint64_t boot_seed = 0x05f5e100;  ///< determines OS/app image contents
+
+  std::uint32_t min_total_pages() const {
+    return os_pages + app_pages + unique_pages;
+  }
+};
+
+/// One VM's paged memory. Pages are stored contiguously.
+class MemoryImage {
+ public:
+  MemoryImage() = default;
+
+  /// Build the image for VM `vm_uid`: OS/app regions from the profile's boot
+  /// seed (identical for every VM), the guest state laid out into heap pages,
+  /// and unique pages derived from vm_uid.
+  void materialize(const MemoryProfile& profile, std::uint64_t vm_uid,
+                   BytesView guest_state);
+
+  /// Re-extract the guest state bytes from the heap region.
+  Bytes extract_guest_state() const;
+
+  std::size_t page_count() const { return data_.size() / kPageSize; }
+  std::size_t size_bytes() const { return data_.size(); }
+
+  BytesView page(std::size_t pfn) const {
+    return BytesView(data_.data() + pfn * kPageSize, kPageSize);
+  }
+  void set_page(std::size_t pfn, BytesView content);
+
+  /// Raw access for whole-image IO.
+  const Bytes& raw() const { return data_; }
+  Bytes& raw() { return data_; }
+  void resize_pages(std::size_t n) { data_.assign(n * kPageSize, 0); }
+
+  std::uint64_t page_hash(std::size_t pfn) const;
+
+  std::uint32_t heap_start_pfn() const { return heap_start_pfn_; }
+  std::uint32_t heap_pages() const { return heap_pages_; }
+
+  /// Layout metadata (region offsets); saved alongside page content so that
+  /// extract_guest_state() works on a loaded image.
+  void save_meta(serial::Writer& w) const;
+  void load_meta(serial::Reader& r);
+
+ private:
+  Bytes data_;
+  std::uint32_t heap_start_pfn_ = 0;
+  std::uint32_t heap_pages_ = 0;
+  std::uint32_t guest_state_bytes_ = 0;
+};
+
+}  // namespace turret::vm

@@ -1,0 +1,241 @@
+#include "vm/snapshot.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "common/check.h"
+#include "common/hash.h"
+#include "serial/serial.h"
+
+namespace turret::vm {
+
+// ---------------------------------------------------------------------------
+// Blob stores
+// ---------------------------------------------------------------------------
+
+void MemoryBlobStore::put(const std::string& name, const Bytes& data) {
+  blobs_[name] = data;
+}
+
+Bytes MemoryBlobStore::get(const std::string& name) const {
+  auto it = blobs_.find(name);
+  TURRET_CHECK_MSG(it != blobs_.end(), "missing blob '" + name + "'");
+  return it->second;
+}
+
+bool MemoryBlobStore::contains(const std::string& name) const {
+  return blobs_.count(name) != 0;
+}
+
+std::uint64_t MemoryBlobStore::total_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& [_, b] : blobs_) n += b.size();
+  return n;
+}
+
+FileBlobStore::FileBlobStore(std::string directory) : dir_(std::move(directory)) {
+  std::filesystem::create_directories(dir_);
+}
+
+void FileBlobStore::put(const std::string& name, const Bytes& data) {
+  const std::string path = dir_ + "/" + name;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  TURRET_CHECK_MSG(out.good(), "cannot open " + path + " for writing");
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  TURRET_CHECK_MSG(out.good(), "short write to " + path);
+}
+
+Bytes FileBlobStore::get(const std::string& name) const {
+  const std::string path = dir_ + "/" + name;
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  TURRET_CHECK_MSG(in.good(), "cannot open " + path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  Bytes data(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(data.data()), size);
+  TURRET_CHECK_MSG(in.good(), "short read from " + path);
+  return data;
+}
+
+bool FileBlobStore::contains(const std::string& name) const {
+  return std::filesystem::exists(dir_ + "/" + name);
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotManager
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string vm_blob_name(const std::string& prefix, std::size_t i) {
+  return prefix + ".vm" + std::to_string(i);
+}
+
+bool pages_equal(BytesView a, BytesView b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size()) == 0;
+}
+
+}  // namespace
+
+SaveReport SnapshotManager::save_plain(std::span<const MemoryImage* const> vms,
+                                       BlobStore& store,
+                                       const std::string& prefix) {
+  SaveReport rep;
+  for (std::size_t i = 0; i < vms.size(); ++i) {
+    const MemoryImage& img = *vms[i];
+    serial::Writer w;
+    img.save_meta(w);
+    w.u32(static_cast<std::uint32_t>(img.page_count()));
+    w.bytes(img.raw());
+    const Bytes blob = w.take();
+    rep.bytes_written += blob.size();
+    rep.total_pages += static_cast<std::uint32_t>(img.page_count());
+    store.put(vm_blob_name(prefix, i), blob);
+  }
+  return rep;
+}
+
+void SnapshotManager::load_plain(std::span<MemoryImage*> vms,
+                                 const BlobStore& store,
+                                 const std::string& prefix) {
+  for (std::size_t i = 0; i < vms.size(); ++i) {
+    const Bytes blob = store.get(vm_blob_name(prefix, i));
+    serial::Reader r(blob);
+    vms[i]->load_meta(r);
+    const std::uint32_t pages = r.u32();
+    vms[i]->raw() = r.bytes();
+    TURRET_CHECK(vms[i]->raw().size() == pages * kPageSize);
+  }
+}
+
+void KsmIndex::scan(std::span<const MemoryImage* const> vms) {
+  hashes_.assign(vms.size(), {});
+  shared_flag_.assign(vms.size(), {});
+  canonical_.clear();
+
+  struct HashEntry {
+    std::size_t vm;
+    std::size_t pfn;
+    bool multi_vm = false;
+  };
+  std::unordered_map<std::uint64_t, HashEntry> index;
+  index.reserve(1024);
+  for (std::size_t v = 0; v < vms.size(); ++v) {
+    const MemoryImage& img = *vms[v];
+    hashes_[v].resize(img.page_count());
+    shared_flag_[v].assign(img.page_count(), false);
+    for (std::size_t p = 0; p < img.page_count(); ++p) {
+      const std::uint64_t h = img.page_hash(p);
+      hashes_[v][p] = h;
+      auto [it, inserted] = index.try_emplace(h, HashEntry{v, p, false});
+      if (!inserted && it->second.vm != v &&
+          pages_equal(vms[it->second.vm]->page(it->second.pfn), img.page(p))) {
+        it->second.multi_vm = true;
+      }
+    }
+  }
+  // Second pass: mark every page whose content is multi-VM shared.
+  for (std::size_t v = 0; v < vms.size(); ++v) {
+    const MemoryImage& img = *vms[v];
+    for (std::size_t p = 0; p < img.page_count(); ++p) {
+      const auto it = index.find(hashes_[v][p]);
+      if (it != index.end() && it->second.multi_vm &&
+          pages_equal(vms[it->second.vm]->page(it->second.pfn), img.page(p))) {
+        shared_flag_[v][p] = true;
+      }
+    }
+  }
+  for (const auto& [h, e] : index) {
+    if (e.multi_vm) canonical_.push_back({e.vm, e.pfn});
+  }
+}
+
+SaveReport SnapshotManager::save_shared(
+    std::span<const MemoryImage* const> vms, const KsmIndex& ksm,
+    BlobStore& store, const std::string& prefix) {
+  SaveReport rep;
+
+  // Shared page map: each distinct shared page's content written once, keyed
+  // by its content hash (the role the pfn plays in the paper's shared map).
+  serial::Writer shared;
+  for (const auto& [v, p] : ksm.canonical()) {
+    shared.u64(ksm.page_key(v, p));
+    // Pages are fixed-size; write raw without a length prefix.
+    shared.raw_bytes(vms[v]->page(p));
+  }
+  rep.shared_unique = static_cast<std::uint32_t>(ksm.canonical().size());
+  const Bytes shared_blob = shared.take();
+  rep.bytes_written += shared_blob.size();
+  store.put(prefix + ".shared", shared_blob);
+
+  // Per-VM residual snapshots: shared pages as references, the rest raw.
+  for (std::size_t v = 0; v < vms.size(); ++v) {
+    const MemoryImage& img = *vms[v];
+    serial::Writer w;
+    img.save_meta(w);
+    w.u32(static_cast<std::uint32_t>(img.page_count()));
+    for (std::size_t p = 0; p < img.page_count(); ++p) {
+      if (ksm.is_shared(v, p)) {
+        w.u8(1);
+        w.u64(ksm.page_key(v, p));
+        ++rep.shared_pages;
+      } else {
+        w.u8(0);
+        w.raw_bytes(img.page(p));
+      }
+      ++rep.total_pages;
+    }
+    const Bytes blob = w.take();
+    rep.bytes_written += blob.size();
+    store.put(vm_blob_name(prefix, v), blob);
+  }
+  return rep;
+}
+
+SaveReport SnapshotManager::save_shared(
+    std::span<const MemoryImage* const> vms, BlobStore& store,
+    const std::string& prefix) {
+  KsmIndex ksm;
+  ksm.scan(vms);
+  return save_shared(vms, ksm, store, prefix);
+}
+
+void SnapshotManager::load_shared(std::span<MemoryImage*> vms,
+                                  const BlobStore& store,
+                                  const std::string& prefix) {
+  // Index the shared page map by hash.
+  const Bytes shared_blob = store.get(prefix + ".shared");
+  TURRET_CHECK(shared_blob.size() % (8 + kPageSize) == 0);
+  std::unordered_map<std::uint64_t, const std::uint8_t*> shared;
+  shared.reserve(shared_blob.size() / (8 + kPageSize));
+  for (std::size_t off = 0; off < shared_blob.size(); off += 8 + kPageSize) {
+    std::uint64_t h;
+    std::memcpy(&h, shared_blob.data() + off, 8);
+    shared.emplace(h, shared_blob.data() + off + 8);
+  }
+
+  for (std::size_t v = 0; v < vms.size(); ++v) {
+    const Bytes blob = store.get(vm_blob_name(prefix, v));
+    serial::Reader r(blob);
+    vms[v]->load_meta(r);
+    const std::uint32_t pages = r.u32();
+    vms[v]->resize_pages(pages);
+    for (std::uint32_t p = 0; p < pages; ++p) {
+      if (r.u8() == 1) {
+        const std::uint64_t h = r.u64();
+        auto it = shared.find(h);
+        TURRET_CHECK_MSG(it != shared.end(),
+                         "snapshot references missing shared page");
+        vms[v]->set_page(p, BytesView(it->second, kPageSize));
+      } else {
+        vms[v]->set_page(p, r.raw_bytes(kPageSize));
+      }
+    }
+  }
+}
+
+}  // namespace turret::vm

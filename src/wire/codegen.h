@@ -1,0 +1,21 @@
+// C++ code generation from a message schema.
+//
+// The paper's format compiler emitted C++ that was compiled and linked into
+// the malicious proxy. Our proxy interprets the Schema directly (no dynamic
+// linking), but we keep the generator: it produces a self-contained header
+// with one struct per message and encode/decode methods over the same wire
+// format, for users who want compiled, named accessors in their own tools.
+// The `turret-msgc` binary wraps this as a command-line compiler.
+#pragma once
+
+#include <string>
+
+#include "wire/schema.h"
+
+namespace turret::wire {
+
+/// Render a compilable C++ header for `schema`. The header depends only on
+/// "wire/message.h". Deterministic output (golden-tested).
+std::string generate_cpp(const Schema& schema);
+
+}  // namespace turret::wire

@@ -1,0 +1,118 @@
+#include "wire/message.h"
+
+#include <cstdio>
+
+namespace turret::wire {
+
+std::string Value::to_string() const {
+  if (is_bool()) return as_bool() ? "true" : "false";
+  if (is_signed()) return std::to_string(as_signed());
+  if (is_unsigned()) return std::to_string(as_unsigned());
+  if (is_double()) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%g", as_double());
+    return buf;
+  }
+  const Bytes& b = as_bytes();
+  if (b.size() <= 8) return "0x" + to_hex(b);
+  return "bytes[" + std::to_string(b.size()) + "]";
+}
+
+std::string DecodedMessage::to_string() const {
+  std::string out = spec ? spec->name : "<unknown>";
+  out += "{";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out += ", ";
+    if (spec && i < spec->fields.size()) {
+      out += spec->fields[i].name;
+      out += "=";
+    }
+    out += values[i].to_string();
+  }
+  out += "}";
+  return out;
+}
+
+TypeTag peek_tag(BytesView wire) {
+  if (wire.size() < 2) throw WireError("message shorter than type tag");
+  return static_cast<TypeTag>(wire[0] | (wire[1] << 8));
+}
+
+DecodedMessage decode(const Schema& schema, BytesView wire) {
+  serial::Reader r(wire);
+  TypeTag tag;
+  try {
+    tag = r.u16();
+  } catch (const serial::SerialError& e) {
+    throw WireError(std::string("decode: ") + e.what());
+  }
+  const MessageSpec* spec = schema.by_tag(tag);
+  if (!spec)
+    throw WireError("decode: tag " + std::to_string(tag) +
+                    " not described by schema '" + schema.protocol() + "'");
+  DecodedMessage msg;
+  msg.spec = spec;
+  msg.values.reserve(spec->fields.size());
+  try {
+    for (const FieldSpec& f : spec->fields) {
+      switch (f.type) {
+        case FieldType::kBool: msg.values.push_back(Value::of_bool(r.boolean())); break;
+        case FieldType::kI8: msg.values.push_back(Value::of_signed(r.i8())); break;
+        case FieldType::kI16: msg.values.push_back(Value::of_signed(r.i16())); break;
+        case FieldType::kI32: msg.values.push_back(Value::of_signed(r.i32())); break;
+        case FieldType::kI64: msg.values.push_back(Value::of_signed(r.i64())); break;
+        case FieldType::kU8: msg.values.push_back(Value::of_unsigned(r.u8())); break;
+        case FieldType::kU16: msg.values.push_back(Value::of_unsigned(r.u16())); break;
+        case FieldType::kU32: msg.values.push_back(Value::of_unsigned(r.u32())); break;
+        case FieldType::kU64: msg.values.push_back(Value::of_unsigned(r.u64())); break;
+        case FieldType::kF32: msg.values.push_back(Value::of_double(r.f32())); break;
+        case FieldType::kF64: msg.values.push_back(Value::of_double(r.f64())); break;
+        case FieldType::kBytes: msg.values.push_back(Value::of_bytes(r.bytes())); break;
+      }
+    }
+  } catch (const serial::SerialError& e) {
+    throw WireError("decode " + spec->name + ": " + e.what());
+  }
+  if (!r.exhausted())
+    throw WireError("decode " + spec->name + ": " +
+                    std::to_string(r.remaining()) + " trailing bytes");
+  return msg;
+}
+
+Bytes encode(const DecodedMessage& msg) {
+  if (!msg.spec) throw WireError("encode: message has no spec");
+  if (msg.values.size() != msg.spec->fields.size())
+    throw WireError("encode " + msg.spec->name + ": value count mismatch");
+  serial::Writer w;
+  w.u16(msg.spec->tag);
+  for (std::size_t i = 0; i < msg.values.size(); ++i) {
+    const FieldType t = msg.spec->fields[i].type;
+    const Value& v = msg.values[i];
+    // Lying actions can place any integer into any integer field; the value
+    // narrows like a C cast (two's complement wrap). Accept either signed or
+    // unsigned carriers for integer fields.
+    auto int_bits = [&]() -> std::uint64_t {
+      if (v.is_signed()) return static_cast<std::uint64_t>(v.as_signed());
+      if (v.is_unsigned()) return v.as_unsigned();
+      throw WireError("encode " + msg.spec->name + ": field '" +
+                      msg.spec->fields[i].name + "' expects an integer value");
+    };
+    switch (t) {
+      case FieldType::kBool: w.boolean(v.as_bool()); break;
+      case FieldType::kI8: w.i8(static_cast<std::int8_t>(int_bits())); break;
+      case FieldType::kI16: w.i16(static_cast<std::int16_t>(int_bits())); break;
+      case FieldType::kI32: w.i32(static_cast<std::int32_t>(int_bits())); break;
+      case FieldType::kI64: w.i64(static_cast<std::int64_t>(int_bits())); break;
+      case FieldType::kU8: w.u8(static_cast<std::uint8_t>(int_bits())); break;
+      case FieldType::kU16: w.u16(static_cast<std::uint16_t>(int_bits())); break;
+      case FieldType::kU32: w.u32(static_cast<std::uint32_t>(int_bits())); break;
+      case FieldType::kU64: w.u64(int_bits()); break;
+      case FieldType::kF32: w.f32(static_cast<float>(v.as_double())); break;
+      case FieldType::kF64: w.f64(v.as_double()); break;
+      case FieldType::kBytes: w.bytes(v.as_bytes()); break;
+    }
+  }
+  return w.take();
+}
+
+}  // namespace turret::wire

@@ -1,0 +1,44 @@
+// turret-msgc: command-line message-format compiler.
+//
+// Usage: turret-msgc <input.msg> [output.h]
+// Reads a .msg protocol description, validates it, and writes the generated
+// C++ header to the output path (or stdout if omitted).
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "wire/codegen.h"
+#include "wire/schema.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argc > 3) {
+    std::cerr << "usage: turret-msgc <input.msg> [output.h]\n";
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::cerr << "turret-msgc: cannot open " << argv[1] << "\n";
+    return 1;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+
+  try {
+    const turret::wire::Schema schema = turret::wire::parse_schema(ss.str());
+    const std::string code = turret::wire::generate_cpp(schema);
+    if (argc == 3) {
+      std::ofstream out(argv[2]);
+      if (!out) {
+        std::cerr << "turret-msgc: cannot write " << argv[2] << "\n";
+        return 1;
+      }
+      out << code;
+    } else {
+      std::cout << code;
+    }
+  } catch (const turret::wire::WireError& e) {
+    std::cerr << "turret-msgc: " << argv[1] << ": " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,123 @@
+// common/: RNG determinism and statistics, hashing, formatting, bytes.
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/check.h"
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace turret {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next_u64();
+    EXPECT_EQ(va, b.next_u64());
+    (void)c.next_u64();
+  }
+  Rng a2(42), c2(43);
+  EXPECT_NE(a2.next_u64(), c2.next_u64());
+}
+
+TEST(Rng, SaveLoadResumesStream) {
+  Rng a(7);
+  for (int i = 0; i < 10; ++i) a.next_u64();
+  std::uint64_t state[4];
+  a.save_state(state);
+  const auto expected = a.next_u64();
+  Rng b(999);
+  b.load_state(state);
+  EXPECT_EQ(b.next_u64(), expected);
+}
+
+TEST(Rng, ForkDiverges) {
+  Rng a(7);
+  Rng child = a.fork();
+  EXPECT_NE(a.next_u64(), child.next_u64());
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng r(1);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.next_below(bound), bound);
+  }
+  EXPECT_EQ(r.next_below(0), 0u);
+}
+
+TEST(Rng, NextRangeInclusive) {
+  Rng r(1);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.next_range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoublesInUnitInterval) {
+  Rng r(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng r(5);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += r.next_bool(0.3);
+  EXPECT_NEAR(heads / 10000.0, 0.3, 0.02);
+}
+
+TEST(Hash, Fnv1aMatchesKnownVector) {
+  // FNV-1a 64 of "a" with the standard offset basis.
+  EXPECT_EQ(fnv1a(std::string_view("a")), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a(std::string_view("")), 0xcbf29ce484222325ull);
+  const Bytes b = to_bytes("a");
+  EXPECT_EQ(fnv1a(b), fnv1a(std::string_view("a")));
+}
+
+TEST(Hash, CombineIsOrderDependent) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+  EXPECT_EQ(hash_combine(1, 2), hash_combine(1, 2));
+  EXPECT_EQ(mix64(0), 0u);  // the murmur finalizer fixes zero
+  EXPECT_NE(mix64(1), 1u);
+}
+
+TEST(Bytes, HexAndStringHelpers) {
+  EXPECT_EQ(to_hex(Bytes{0xde, 0xad, 0x01}), "dead01");
+  EXPECT_EQ(to_hex(Bytes{}), "");
+  EXPECT_EQ(to_string(to_bytes("round trip")), "round trip");
+}
+
+TEST(Types, FormatDuration) {
+  EXPECT_EQ(format_duration(500), "500ns");
+  EXPECT_EQ(format_duration(250 * kMicrosecond), "250us");
+  EXPECT_EQ(format_duration(1500 * kMicrosecond), "1.5ms");
+  EXPECT_EQ(format_duration(6 * kSecond), "6s");
+  EXPECT_EQ(format_time(12345 * kMillisecond), "12.345s");
+}
+
+TEST(Check, ThrowsLogicErrorWithContext) {
+  try {
+    TURRET_CHECK_MSG(1 == 2, "impossible");
+    FAIL();
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("impossible"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace turret

@@ -1,0 +1,126 @@
+// Prime system tests: benign progress, the PO-Summary-withholding halt (the
+// eligibility bug), the sequence-lie suspect-leader bypass, Prime's defense
+// against a slow leader, and snapshot determinism.
+#include <gtest/gtest.h>
+
+#include "proxy/proxy.h"
+#include "search/executor.h"
+#include "systems/prime/prime_messages.h"
+#include "systems/prime/prime_scenario.h"
+
+namespace turret {
+namespace {
+
+using systems::prime::PrimeScenarioOptions;
+using systems::prime::make_prime_scenario;
+
+TEST(PrimeBenign, MakesSteadyProgress) {
+  const auto sc = make_prime_scenario();
+  auto w = search::make_scenario_world(sc);
+  w.testbed->start();
+  w.testbed->run_for(12 * kSecond);
+  const double rate =
+      w.testbed->metrics().rate("updates", 2 * kSecond, 10 * kSecond);
+  EXPECT_GT(rate, 10.0);
+  EXPECT_TRUE(w.testbed->crashed_nodes().empty());
+  auto& replica =
+      dynamic_cast<systems::prime::PrimeReplica&>(w.testbed->machine(2).guest());
+  EXPECT_EQ(replica.view(), 0u) << "no suspicion under benign operation";
+}
+
+TEST(PrimeAttack, DroppingPOSummaryHaltsProgress) {
+  const auto sc = make_prime_scenario();  // malicious replica 3 (non-leader)
+  auto w = search::make_scenario_world(sc);
+
+  proxy::MaliciousAction drop;
+  drop.target_tag = systems::prime::kPOSummary;
+  drop.message_name = "POSummary";
+  drop.kind = proxy::ActionKind::kDrop;
+  drop.drop_probability = 1.0;
+  w.proxy->arm(drop);
+
+  w.testbed->start();
+  w.testbed->run_for(15 * kSecond);
+  // Paper: progress halts because the (buggy) eligibility check wants a
+  // summary from every replica even though a 2f+1 quorum exists.
+  const double rate =
+      w.testbed->metrics().rate("updates", 5 * kSecond, 15 * kSecond);
+  EXPECT_LT(rate, 1.0);
+  EXPECT_TRUE(w.testbed->crashed_nodes().empty());
+}
+
+TEST(PrimeAttack, SeqLieHaltsWithoutTriggeringSuspicion) {
+  PrimeScenarioOptions opt;
+  opt.malicious_leader = true;
+  const auto sc = make_prime_scenario(opt);
+  auto w = search::make_scenario_world(sc);
+
+  proxy::MaliciousAction lie;
+  lie.target_tag = systems::prime::kPrePrepare;
+  lie.message_name = "PrePrepare";
+  lie.kind = proxy::ActionKind::kLie;
+  lie.field_index = 1;  // seq
+  lie.field_name = "seq";
+  lie.strategy = proxy::LieStrategy::kAdd;
+  lie.operand = 1000;
+  w.proxy->arm(lie);
+
+  w.testbed->start();
+  w.testbed->run_for(15 * kSecond);
+  const double rate =
+      w.testbed->metrics().rate("updates", 5 * kSecond, 15 * kSecond);
+  EXPECT_LT(rate, 1.0) << "ordering must stall under the forged sequence";
+  auto& replica =
+      dynamic_cast<systems::prime::PrimeReplica&>(w.testbed->machine(2).guest());
+  EXPECT_EQ(replica.view(), 0u)
+      << "the suspect-leader protocol must never be initiated (paper's "
+         "'most interesting attack')";
+}
+
+TEST(PrimeDefense, SilentLeaderIsReplaced) {
+  PrimeScenarioOptions opt;
+  opt.malicious_leader = true;
+  const auto sc = make_prime_scenario(opt);
+  auto w = search::make_scenario_world(sc);
+
+  proxy::MaliciousAction drop;
+  drop.target_tag = systems::prime::kPrePrepare;
+  drop.message_name = "PrePrepare";
+  drop.kind = proxy::ActionKind::kDrop;
+  drop.drop_probability = 1.0;
+  w.proxy->arm(drop);
+
+  w.testbed->start();
+  w.testbed->run_for(15 * kSecond);
+  auto& replica =
+      dynamic_cast<systems::prime::PrimeReplica&>(w.testbed->machine(2).guest());
+  EXPECT_GE(replica.view(), 1u) << "TAT monitoring must evict a silent leader";
+  const double rate =
+      w.testbed->metrics().rate("updates", 8 * kSecond, 15 * kSecond);
+  EXPECT_GT(rate, 5.0) << "progress resumes under the new leader";
+}
+
+TEST(PrimeDeterminism, SnapshotRestoreReplaysIdentically) {
+  const auto sc = make_prime_scenario();
+  auto a = search::make_scenario_world(sc);
+  a.testbed->start();
+  a.testbed->run_for(6 * kSecond);
+
+  auto b1 = search::make_scenario_world(sc);
+  b1.testbed->start();
+  b1.testbed->run_for(3 * kSecond);
+  const Bytes snap = b1.testbed->save_snapshot();
+  auto b2 = search::make_scenario_world(sc);
+  b2.testbed->load_snapshot(snap);
+  b2.testbed->run_until(6 * kSecond);
+
+  for (NodeId id = 0; id < 5; ++id) {
+    serial::Writer wa, wb;
+    a.testbed->machine(id).guest().save(wa);
+    b2.testbed->machine(id).guest().save(wb);
+    EXPECT_EQ(wa.data(), wb.data()) << "node " << id;
+  }
+}
+
+}  // namespace
+}  // namespace turret

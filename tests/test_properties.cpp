@@ -1,0 +1,208 @@
+// Randomized property tests over the platform invariants that execution
+// branching depends on:
+//   * determinism — same config + same call sequence ⇒ identical behaviour;
+//   * snapshot transparency — save/load at any point is unobservable;
+//   * payload integrity — messages arrive exactly as sent across
+//     fragmentation, device processing and interception.
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+#include "common/rng.h"
+#include "netem/emulator.h"
+#include "proxy/proxy.h"
+#include "runtime/testbed.h"
+#include "systems/pbft/pbft_scenario.h"
+#include "search/executor.h"
+
+namespace turret {
+namespace {
+
+struct Collector : netem::MessageSink {
+  std::vector<std::tuple<Time, NodeId, NodeId, std::uint64_t>> log;
+  netem::Emulator* emu = nullptr;
+  void on_message(NodeId dst, NodeId src, Bytes m) override {
+    log.emplace_back(emu->now(), dst, src, fnv1a(m));
+  }
+  void on_event(const netem::Event&) override {}
+};
+
+netem::NetConfig random_net(Rng& rng) {
+  netem::NetConfig cfg;
+  cfg.nodes = 2 + static_cast<std::uint32_t>(rng.next_below(6));
+  cfg.mtu = 128 + rng.next_below(1400);
+  cfg.default_link.delay = static_cast<Duration>(
+      (1 + rng.next_below(2000)) * kMicrosecond);
+  cfg.default_link.bandwidth_bps = 1e6 + rng.next_double() * 1e9;
+  cfg.seed = rng.next_u64();
+  return cfg;
+}
+
+struct TrafficOp {
+  Time at;
+  NodeId src, dst;
+  Bytes payload;
+};
+
+std::vector<TrafficOp> random_traffic(Rng& rng, std::uint32_t nodes) {
+  std::vector<TrafficOp> ops;
+  Time t = 0;
+  const int n = 50 + static_cast<int>(rng.next_below(200));
+  for (int i = 0; i < n; ++i) {
+    t += static_cast<Time>(rng.next_below(3 * kMillisecond));
+    TrafficOp op;
+    op.at = t;
+    op.src = static_cast<NodeId>(rng.next_below(nodes));
+    do {
+      op.dst = static_cast<NodeId>(rng.next_below(nodes));
+    } while (op.dst == op.src && nodes > 1);
+    op.payload.resize(rng.next_below(4000));
+    for (auto& b : op.payload) b = static_cast<std::uint8_t>(rng.next_u64());
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+void replay(netem::Emulator& emu, Collector& sink,
+            const std::vector<TrafficOp>& ops) {
+  emu.set_sink(&sink);
+  sink.emu = &emu;
+  for (const auto& op : ops) {
+    emu.run_until(op.at);
+    emu.send_message(op.src, op.dst, op.payload);
+  }
+  emu.run_for(10 * kSecond);
+}
+
+class EmulatorProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EmulatorProperty, IdenticalRunsProduceIdenticalDeliveries) {
+  Rng rng(GetParam());
+  const auto cfg = random_net(rng);
+  const auto ops = random_traffic(rng, cfg.nodes);
+
+  netem::Emulator a(cfg), b(cfg);
+  Collector ca, cb;
+  replay(a, ca, ops);
+  replay(b, cb, ops);
+  ASSERT_EQ(ca.log.size(), cb.log.size());
+  EXPECT_EQ(ca.log, cb.log);
+  EXPECT_EQ(a.stats().packets_delivered, b.stats().packets_delivered);
+}
+
+TEST_P(EmulatorProperty, MidstreamSaveLoadIsTransparent) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  const auto cfg = random_net(rng);
+  const auto ops = random_traffic(rng, cfg.nodes);
+
+  // Reference: uninterrupted run.
+  netem::Emulator ref(cfg);
+  Collector cref;
+  replay(ref, cref, ops);
+
+  // Split run: replay half, snapshot, restore into a fresh emulator, finish.
+  const std::size_t half = ops.size() / 2;
+  netem::Emulator a(cfg);
+  Collector ca;
+  a.set_sink(&ca);
+  ca.emu = &a;
+  for (std::size_t i = 0; i < half; ++i) {
+    a.run_until(ops[i].at);
+    a.send_message(ops[i].src, ops[i].dst, ops[i].payload);
+  }
+  serial::Writer w;
+  a.save(w);
+
+  netem::Emulator b(cfg);
+  Collector cb;
+  b.set_sink(&cb);
+  cb.emu = &b;
+  serial::Reader r(w.data());
+  b.load(r);
+  for (std::size_t i = half; i < ops.size(); ++i) {
+    b.run_until(ops[i].at);
+    b.send_message(ops[i].src, ops[i].dst, ops[i].payload);
+  }
+  b.run_for(10 * kSecond);
+
+  // The restored emulator's deliveries must continue the reference sequence.
+  std::vector<std::tuple<Time, NodeId, NodeId, std::uint64_t>> combined =
+      ca.log;
+  combined.insert(combined.end(), cb.log.begin(), cb.log.end());
+  EXPECT_EQ(combined, cref.log);
+}
+
+TEST_P(EmulatorProperty, PayloadsSurviveFragmentationByteExact) {
+  Rng rng(GetParam() ^ 0x1234);
+  netem::NetConfig cfg = random_net(rng);
+  cfg.nodes = 2;
+  netem::Emulator emu(cfg);
+  struct Exact : netem::MessageSink {
+    std::vector<Bytes> got;
+    void on_message(NodeId, NodeId, Bytes m) override { got.push_back(std::move(m)); }
+    void on_event(const netem::Event&) override {}
+  } sink;
+  emu.set_sink(&sink);
+  std::vector<Bytes> sent;
+  for (int i = 0; i < 30; ++i) {
+    Bytes payload(rng.next_below(3 * cfg.mtu + 7));
+    for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next_u64());
+    sent.push_back(payload);
+    emu.send_message(0, 1, payload);
+  }
+  emu.run_for(10 * kSecond);
+  ASSERT_EQ(sink.got.size(), sent.size());
+  for (std::size_t i = 0; i < sent.size(); ++i) EXPECT_EQ(sink.got[i], sent[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EmulatorProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+// --- PBFT scaling properties ------------------------------------------------
+
+struct PbftShape {
+  std::uint32_t n;
+  std::uint32_t f;
+};
+
+class PbftScaling : public ::testing::TestWithParam<PbftShape> {};
+
+TEST_P(PbftScaling, MakesProgressAtEveryClusterSize) {
+  systems::pbft::PbftScenarioOptions opt;
+  opt.n = GetParam().n;
+  opt.f = GetParam().f;
+  const auto sc = systems::pbft::make_pbft_scenario(opt);
+  auto w = search::make_scenario_world(sc);
+  w.testbed->start();
+  w.testbed->run_for(8 * kSecond);
+  const double rate = w.testbed->metrics().rate("updates", 2 * kSecond, 8 * kSecond);
+  EXPECT_GT(rate, 50.0) << "n=" << opt.n;
+  EXPECT_TRUE(w.testbed->crashed_nodes().empty());
+}
+
+TEST_P(PbftScaling, ToleratesFSilentBackups) {
+  // Partition away f backups entirely: the protocol must keep committing.
+  systems::pbft::PbftScenarioOptions opt;
+  opt.n = GetParam().n;
+  opt.f = GetParam().f;
+  auto sc = systems::pbft::make_pbft_scenario(opt);
+  for (NodeId dead = opt.n - opt.f; dead < opt.n; ++dead) {
+    for (NodeId other = 0; other < sc.testbed.net.nodes; ++other) {
+      netem::LinkSpec down;
+      down.up = false;
+      sc.testbed.net.link_overrides[netem::NetConfig::pair_key(dead, other)] = down;
+      sc.testbed.net.link_overrides[netem::NetConfig::pair_key(other, dead)] = down;
+    }
+  }
+  auto w = search::make_scenario_world(sc);
+  w.testbed->start();
+  w.testbed->run_for(8 * kSecond);
+  const double rate = w.testbed->metrics().rate("updates", 2 * kSecond, 8 * kSecond);
+  EXPECT_GT(rate, 50.0) << "n=" << opt.n << " with f=" << opt.f << " silenced";
+}
+
+INSTANTIATE_TEST_SUITE_P(ClusterSizes, PbftScaling,
+                         ::testing::Values(PbftShape{4, 1}, PbftShape{7, 2},
+                                           PbftShape{10, 3}));
+
+}  // namespace
+}  // namespace turret

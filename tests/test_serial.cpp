@@ -1,0 +1,174 @@
+// serial::Writer/Reader unit and property tests.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/rng.h"
+#include "serial/serial.h"
+
+namespace turret::serial {
+namespace {
+
+TEST(Serial, PrimitivesRoundTrip) {
+  Writer w;
+  w.u8(0xab);
+  w.u16(0xbeef);
+  w.u32(0xdeadbeefu);
+  w.u64(0x0123456789abcdefull);
+  w.i8(-5);
+  w.i16(-1234);
+  w.i32(-123456789);
+  w.i64(std::numeric_limits<std::int64_t>::min());
+  w.f32(3.5f);
+  w.f64(-2.25);
+  w.boolean(true);
+  w.boolean(false);
+
+  Reader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0xbeef);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.i8(), -5);
+  EXPECT_EQ(r.i16(), -1234);
+  EXPECT_EQ(r.i32(), -123456789);
+  EXPECT_EQ(r.i64(), std::numeric_limits<std::int64_t>::min());
+  EXPECT_FLOAT_EQ(r.f32(), 3.5f);
+  EXPECT_DOUBLE_EQ(r.f64(), -2.25);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serial, StringsAndBytes) {
+  Writer w;
+  w.str("hello");
+  w.str("");
+  w.bytes(Bytes{1, 2, 3});
+  w.bytes(Bytes{});
+  w.raw_bytes(Bytes{9, 8});
+
+  Reader r(w.data());
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.bytes(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(r.bytes(), Bytes{});
+  EXPECT_EQ(r.raw_bytes(2), (Bytes{9, 8}));
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serial, ContainersRoundTrip) {
+  Writer w;
+  std::vector<std::uint32_t> v{1, 2, 3, 4, 5};
+  w.vec(v, [](Writer& ww, std::uint32_t x) { ww.u32(x); });
+  std::map<std::string, std::int64_t> m{{"a", -1}, {"b", 42}};
+  w.map(m, [](Writer& ww, const std::string& k) { ww.str(k); },
+        [](Writer& ww, std::int64_t x) { ww.i64(x); });
+  std::optional<double> some = 1.5, none;
+  w.opt(some, [](Writer& ww, double d) { ww.f64(d); });
+  w.opt(none, [](Writer& ww, double d) { ww.f64(d); });
+
+  Reader r(w.data());
+  auto v2 = r.vec<std::uint32_t>([](Reader& rr) { return rr.u32(); });
+  EXPECT_EQ(v2, v);
+  auto m2 = r.map<std::string, std::int64_t>(
+      [](Reader& rr) { return rr.str(); }, [](Reader& rr) { return rr.i64(); });
+  EXPECT_EQ(m2, m);
+  auto s2 = r.opt<double>([](Reader& rr) { return rr.f64(); });
+  auto n2 = r.opt<double>([](Reader& rr) { return rr.f64(); });
+  EXPECT_EQ(s2, some);
+  EXPECT_EQ(n2, none);
+}
+
+TEST(Serial, TruncatedInputThrows) {
+  Writer w;
+  w.u64(7);
+  Bytes data = w.take();
+  data.pop_back();
+  Reader r(data);
+  EXPECT_THROW(r.u64(), SerialError);
+}
+
+TEST(Serial, CorruptLengthPrefixThrows) {
+  Writer w;
+  w.bytes(Bytes{1, 2, 3});
+  Bytes data = w.take();
+  data[0] = 0xff;  // claim a huge length
+  data[1] = 0xff;
+  Reader r(data);
+  EXPECT_THROW(r.bytes(), SerialError);
+}
+
+TEST(Serial, ReaderTracksPosition) {
+  Writer w;
+  w.u32(1);
+  w.u32(2);
+  Reader r(w.data());
+  EXPECT_EQ(r.position(), 0u);
+  r.u32();
+  EXPECT_EQ(r.position(), 4u);
+  EXPECT_EQ(r.remaining(), 4u);
+}
+
+// Property: any random sequence of typed writes reads back identically.
+class SerialFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SerialFuzz, RandomSequenceRoundTrips) {
+  Rng rng(GetParam());
+  struct Op {
+    int kind;
+    std::uint64_t u;
+    std::int64_t i;
+    double d;
+    Bytes b;
+  };
+  std::vector<Op> ops;
+  Writer w;
+  const int n = 1 + static_cast<int>(rng.next_below(200));
+  for (int k = 0; k < n; ++k) {
+    Op op;
+    op.kind = static_cast<int>(rng.next_below(5));
+    switch (op.kind) {
+      case 0:
+        op.u = rng.next_u64();
+        w.u64(op.u);
+        break;
+      case 1:
+        op.i = static_cast<std::int64_t>(rng.next_u64());
+        w.i64(op.i);
+        break;
+      case 2:
+        op.d = rng.next_double();
+        w.f64(op.d);
+        break;
+      case 3: {
+        op.b.resize(rng.next_below(64));
+        for (auto& byte : op.b) byte = static_cast<std::uint8_t>(rng.next_u64());
+        w.bytes(op.b);
+        break;
+      }
+      case 4:
+        op.u = rng.next_below(2);
+        w.boolean(op.u != 0);
+        break;
+    }
+    ops.push_back(std::move(op));
+  }
+  Reader r(w.data());
+  for (const Op& op : ops) {
+    switch (op.kind) {
+      case 0: EXPECT_EQ(r.u64(), op.u); break;
+      case 1: EXPECT_EQ(r.i64(), op.i); break;
+      case 2: EXPECT_DOUBLE_EQ(r.f64(), op.d); break;
+      case 3: EXPECT_EQ(r.bytes(), op.b); break;
+      case 4: EXPECT_EQ(r.boolean(), op.u != 0); break;
+    }
+  }
+  EXPECT_TRUE(r.exhausted());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerialFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace turret::serial

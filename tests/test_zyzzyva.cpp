@@ -1,0 +1,121 @@
+// Zyzzyva system tests: fast-path latency, slow-path fallback under reply
+// loss, crash surfaces, and snapshot determinism.
+#include <gtest/gtest.h>
+
+#include "proxy/proxy.h"
+#include "search/executor.h"
+#include "systems/zyzzyva/zyzzyva_messages.h"
+#include "systems/zyzzyva/zyzzyva_scenario.h"
+
+namespace turret {
+namespace {
+
+using systems::zyzzyva::ZyzzyvaScenarioOptions;
+using systems::zyzzyva::make_zyzzyva_scenario;
+
+TEST(ZyzzyvaBenign, FastPathLatency) {
+  const auto sc = make_zyzzyva_scenario();
+  auto w = search::make_scenario_world(sc);
+  w.testbed->start();
+  w.testbed->run_for(10 * kSecond);
+  const auto lat =
+      w.testbed->metrics().summary("latency_ms", 2 * kSecond, 8 * kSecond);
+  ASSERT_GT(lat.count, 100u);
+  // Paper: min/avg/max 3.90/3.95/4.02 ms on a 1 ms LAN.
+  EXPECT_GT(lat.mean(), 3.0);
+  EXPECT_LT(lat.mean(), 5.0);
+  EXPECT_LT(lat.max - lat.min, 1.0) << "benign latency should be tight";
+}
+
+TEST(ZyzzyvaAttack, DroppingSpecRepliesForcesSlowPath) {
+  const auto sc = make_zyzzyva_scenario();  // malicious backup (replica 3)
+  auto w = search::make_scenario_world(sc);
+
+  proxy::MaliciousAction drop;
+  drop.target_tag = systems::zyzzyva::kSpecReply;
+  drop.message_name = "SpecReply";
+  drop.kind = proxy::ActionKind::kDrop;
+  drop.drop_probability = 1.0;
+  w.proxy->arm(drop);
+
+  w.testbed->start();
+  w.testbed->run_for(10 * kSecond);
+  const auto lat =
+      w.testbed->metrics().summary("latency_ms", 2 * kSecond, 8 * kSecond);
+  ASSERT_GT(lat.count, 50u);
+  // Paper: avg latency rises from 3.95 ms to 5.32 ms (≈ +35%).
+  EXPECT_GT(lat.mean(), 4.8);
+  EXPECT_LT(lat.mean(), 8.0);
+  EXPECT_TRUE(w.testbed->crashed_nodes().empty());
+}
+
+TEST(ZyzzyvaAttack, LyingOnHistorySizeCrashesReplicas) {
+  ZyzzyvaScenarioOptions opt;
+  opt.malicious_primary = true;
+  const auto sc = make_zyzzyva_scenario(opt);
+  auto w = search::make_scenario_world(sc);
+
+  proxy::MaliciousAction lie;
+  lie.target_tag = systems::zyzzyva::kOrderRequest;
+  lie.message_name = "OrderRequest";
+  lie.kind = proxy::ActionKind::kLie;
+  lie.field_index = 3;  // history_size
+  lie.field_name = "history_size";
+  lie.strategy = proxy::LieStrategy::kMin;
+  w.proxy->arm(lie);
+
+  w.testbed->start();
+  w.testbed->run_for(5 * kSecond);
+  EXPECT_EQ(w.testbed->crashed_nodes().size(), 3u)
+      << "all benign replicas should die on the forged size";
+}
+
+TEST(ZyzzyvaRecovery, ViewChangeReproposesPendingSafely) {
+  // Regression: entering a view used to iterate pending_ while order() →
+  // spec_execute() erased from it (iterator invalidation under a primary
+  // that drops OrderRequests until evicted).
+  ZyzzyvaScenarioOptions opt;
+  opt.malicious_primary = true;
+  const auto sc = make_zyzzyva_scenario(opt);
+  auto w = search::make_scenario_world(sc);
+
+  proxy::MaliciousAction drop;
+  drop.target_tag = systems::zyzzyva::kOrderRequest;
+  drop.kind = proxy::ActionKind::kDrop;
+  drop.drop_probability = 1.0;
+  w.proxy->arm(drop);
+
+  w.testbed->start();
+  w.testbed->run_for(20 * kSecond);
+  EXPECT_TRUE(w.testbed->crashed_nodes().empty());
+  const double late =
+      w.testbed->metrics().rate("updates", 12 * kSecond, 20 * kSecond);
+  EXPECT_GT(late, 50.0) << "view change must evict the muting primary";
+}
+
+TEST(ZyzzyvaDeterminism, SnapshotRestoreReplaysIdentically) {
+  const auto sc = make_zyzzyva_scenario();
+  auto a = search::make_scenario_world(sc);
+  a.testbed->start();
+  a.testbed->run_for(6 * kSecond);
+
+  auto b1 = search::make_scenario_world(sc);
+  b1.testbed->start();
+  b1.testbed->run_for(3 * kSecond);
+  const Bytes snap = b1.testbed->save_snapshot();
+  auto b2 = search::make_scenario_world(sc);
+  b2.testbed->load_snapshot(snap);
+  b2.testbed->run_until(6 * kSecond);
+
+  EXPECT_EQ(a.testbed->metrics().total("updates", 0, 6 * kSecond),
+            b2.testbed->metrics().total("updates", 0, 6 * kSecond));
+  for (NodeId id = 0; id < 5; ++id) {
+    serial::Writer wa, wb;
+    a.testbed->machine(id).guest().save(wa);
+    b2.testbed->machine(id).guest().save(wb);
+    EXPECT_EQ(wa.data(), wb.data()) << "node " << id;
+  }
+}
+
+}  // namespace
+}  // namespace turret
