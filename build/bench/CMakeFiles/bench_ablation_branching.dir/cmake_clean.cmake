@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_branching.dir/bench_ablation_branching.cpp.o"
+  "CMakeFiles/bench_ablation_branching.dir/bench_ablation_branching.cpp.o.d"
+  "bench_ablation_branching"
+  "bench_ablation_branching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_branching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

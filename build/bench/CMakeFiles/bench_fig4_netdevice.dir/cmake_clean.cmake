@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_netdevice.dir/bench_fig4_netdevice.cpp.o"
+  "CMakeFiles/bench_fig4_netdevice.dir/bench_fig4_netdevice.cpp.o.d"
+  "bench_fig4_netdevice"
+  "bench_fig4_netdevice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_netdevice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

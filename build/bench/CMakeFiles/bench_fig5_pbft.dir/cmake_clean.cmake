@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_pbft.dir/bench_fig5_pbft.cpp.o"
+  "CMakeFiles/bench_fig5_pbft.dir/bench_fig5_pbft.cpp.o.d"
+  "bench_fig5_pbft"
+  "bench_fig5_pbft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_pbft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

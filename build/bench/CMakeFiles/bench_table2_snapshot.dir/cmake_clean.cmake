@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_snapshot.dir/bench_table2_snapshot.cpp.o"
+  "CMakeFiles/bench_table2_snapshot.dir/bench_table2_snapshot.cpp.o.d"
+  "bench_table2_snapshot"
+  "bench_table2_snapshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_text_numbers.dir/bench_text_numbers.cpp.o"
+  "CMakeFiles/bench_text_numbers.dir/bench_text_numbers.cpp.o.d"
+  "bench_text_numbers"
+  "bench_text_numbers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_text_numbers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

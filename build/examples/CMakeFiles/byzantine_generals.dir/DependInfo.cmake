@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/byzantine_generals.cpp" "examples/CMakeFiles/byzantine_generals.dir/byzantine_generals.cpp.o" "gcc" "examples/CMakeFiles/byzantine_generals.dir/byzantine_generals.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/systems/CMakeFiles/turret_systems.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/turret_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/proxy/CMakeFiles/turret_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/turret_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/turret_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/netem/CMakeFiles/turret_netem.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/turret_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/turret_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/byzantine_generals.dir/byzantine_generals.cpp.o"
+  "CMakeFiles/byzantine_generals.dir/byzantine_generals.cpp.o.d"
+  "byzantine_generals"
+  "byzantine_generals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/byzantine_generals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/find_pbft_attacks.dir/find_pbft_attacks.cpp.o"
+  "CMakeFiles/find_pbft_attacks.dir/find_pbft_attacks.cpp.o.d"
+  "find_pbft_attacks"
+  "find_pbft_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/find_pbft_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

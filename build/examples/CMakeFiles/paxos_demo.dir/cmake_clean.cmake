@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paxos_demo.dir/paxos_demo.cpp.o"
+  "CMakeFiles/paxos_demo.dir/paxos_demo.cpp.o.d"
+  "paxos_demo"
+  "paxos_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paxos_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

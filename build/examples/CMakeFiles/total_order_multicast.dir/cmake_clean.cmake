@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/total_order_multicast.dir/total_order_multicast.cpp.o"
+  "CMakeFiles/total_order_multicast.dir/total_order_multicast.cpp.o.d"
+  "total_order_multicast"
+  "total_order_multicast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/total_order_multicast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turret_common.dir/bytes.cpp.o"
+  "CMakeFiles/turret_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/turret_common.dir/check.cpp.o"
+  "CMakeFiles/turret_common.dir/check.cpp.o.d"
+  "CMakeFiles/turret_common.dir/hash.cpp.o"
+  "CMakeFiles/turret_common.dir/hash.cpp.o.d"
+  "CMakeFiles/turret_common.dir/log.cpp.o"
+  "CMakeFiles/turret_common.dir/log.cpp.o.d"
+  "CMakeFiles/turret_common.dir/rng.cpp.o"
+  "CMakeFiles/turret_common.dir/rng.cpp.o.d"
+  "CMakeFiles/turret_common.dir/types.cpp.o"
+  "CMakeFiles/turret_common.dir/types.cpp.o.d"
+  "libturret_common.a"
+  "libturret_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turret_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

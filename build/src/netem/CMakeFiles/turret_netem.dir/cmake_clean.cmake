@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turret_netem.dir/device.cpp.o"
+  "CMakeFiles/turret_netem.dir/device.cpp.o.d"
+  "CMakeFiles/turret_netem.dir/emulator.cpp.o"
+  "CMakeFiles/turret_netem.dir/emulator.cpp.o.d"
+  "libturret_netem.a"
+  "libturret_netem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turret_netem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

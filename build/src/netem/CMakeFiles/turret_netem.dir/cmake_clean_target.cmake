@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libturret_netem.a"
+)

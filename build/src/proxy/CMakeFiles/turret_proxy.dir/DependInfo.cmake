@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proxy/action.cpp" "src/proxy/CMakeFiles/turret_proxy.dir/action.cpp.o" "gcc" "src/proxy/CMakeFiles/turret_proxy.dir/action.cpp.o.d"
+  "/root/repo/src/proxy/enumerate.cpp" "src/proxy/CMakeFiles/turret_proxy.dir/enumerate.cpp.o" "gcc" "src/proxy/CMakeFiles/turret_proxy.dir/enumerate.cpp.o.d"
+  "/root/repo/src/proxy/proxy.cpp" "src/proxy/CMakeFiles/turret_proxy.dir/proxy.cpp.o" "gcc" "src/proxy/CMakeFiles/turret_proxy.dir/proxy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/turret_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/turret_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/netem/CMakeFiles/turret_netem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

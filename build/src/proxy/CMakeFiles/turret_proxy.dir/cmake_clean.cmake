@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turret_proxy.dir/action.cpp.o"
+  "CMakeFiles/turret_proxy.dir/action.cpp.o.d"
+  "CMakeFiles/turret_proxy.dir/enumerate.cpp.o"
+  "CMakeFiles/turret_proxy.dir/enumerate.cpp.o.d"
+  "CMakeFiles/turret_proxy.dir/proxy.cpp.o"
+  "CMakeFiles/turret_proxy.dir/proxy.cpp.o.d"
+  "libturret_proxy.a"
+  "libturret_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turret_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

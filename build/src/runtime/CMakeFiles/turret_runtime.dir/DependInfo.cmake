@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/metrics.cpp" "src/runtime/CMakeFiles/turret_runtime.dir/metrics.cpp.o" "gcc" "src/runtime/CMakeFiles/turret_runtime.dir/metrics.cpp.o.d"
+  "/root/repo/src/runtime/testbed.cpp" "src/runtime/CMakeFiles/turret_runtime.dir/testbed.cpp.o" "gcc" "src/runtime/CMakeFiles/turret_runtime.dir/testbed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/turret_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/netem/CMakeFiles/turret_netem.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/turret_vm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

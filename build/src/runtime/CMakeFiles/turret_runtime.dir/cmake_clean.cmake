@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turret_runtime.dir/metrics.cpp.o"
+  "CMakeFiles/turret_runtime.dir/metrics.cpp.o.d"
+  "CMakeFiles/turret_runtime.dir/testbed.cpp.o"
+  "CMakeFiles/turret_runtime.dir/testbed.cpp.o.d"
+  "libturret_runtime.a"
+  "libturret_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turret_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/search/algorithms.cpp" "src/search/CMakeFiles/turret_search.dir/algorithms.cpp.o" "gcc" "src/search/CMakeFiles/turret_search.dir/algorithms.cpp.o.d"
+  "/root/repo/src/search/executor.cpp" "src/search/CMakeFiles/turret_search.dir/executor.cpp.o" "gcc" "src/search/CMakeFiles/turret_search.dir/executor.cpp.o.d"
+  "/root/repo/src/search/report.cpp" "src/search/CMakeFiles/turret_search.dir/report.cpp.o" "gcc" "src/search/CMakeFiles/turret_search.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/turret_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/turret_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/proxy/CMakeFiles/turret_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/turret_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/turret_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/netem/CMakeFiles/turret_netem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turret_search.dir/algorithms.cpp.o"
+  "CMakeFiles/turret_search.dir/algorithms.cpp.o.d"
+  "CMakeFiles/turret_search.dir/executor.cpp.o"
+  "CMakeFiles/turret_search.dir/executor.cpp.o.d"
+  "CMakeFiles/turret_search.dir/report.cpp.o"
+  "CMakeFiles/turret_search.dir/report.cpp.o.d"
+  "libturret_search.a"
+  "libturret_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turret_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/systems/aardvark/aardvark_client.cpp" "src/systems/CMakeFiles/turret_systems.dir/aardvark/aardvark_client.cpp.o" "gcc" "src/systems/CMakeFiles/turret_systems.dir/aardvark/aardvark_client.cpp.o.d"
+  "/root/repo/src/systems/aardvark/aardvark_replica.cpp" "src/systems/CMakeFiles/turret_systems.dir/aardvark/aardvark_replica.cpp.o" "gcc" "src/systems/CMakeFiles/turret_systems.dir/aardvark/aardvark_replica.cpp.o.d"
+  "/root/repo/src/systems/aardvark/aardvark_scenario.cpp" "src/systems/CMakeFiles/turret_systems.dir/aardvark/aardvark_scenario.cpp.o" "gcc" "src/systems/CMakeFiles/turret_systems.dir/aardvark/aardvark_scenario.cpp.o.d"
+  "/root/repo/src/systems/pbft/pbft_client.cpp" "src/systems/CMakeFiles/turret_systems.dir/pbft/pbft_client.cpp.o" "gcc" "src/systems/CMakeFiles/turret_systems.dir/pbft/pbft_client.cpp.o.d"
+  "/root/repo/src/systems/pbft/pbft_replica.cpp" "src/systems/CMakeFiles/turret_systems.dir/pbft/pbft_replica.cpp.o" "gcc" "src/systems/CMakeFiles/turret_systems.dir/pbft/pbft_replica.cpp.o.d"
+  "/root/repo/src/systems/pbft/pbft_scenario.cpp" "src/systems/CMakeFiles/turret_systems.dir/pbft/pbft_scenario.cpp.o" "gcc" "src/systems/CMakeFiles/turret_systems.dir/pbft/pbft_scenario.cpp.o.d"
+  "/root/repo/src/systems/prime/prime_client.cpp" "src/systems/CMakeFiles/turret_systems.dir/prime/prime_client.cpp.o" "gcc" "src/systems/CMakeFiles/turret_systems.dir/prime/prime_client.cpp.o.d"
+  "/root/repo/src/systems/prime/prime_replica.cpp" "src/systems/CMakeFiles/turret_systems.dir/prime/prime_replica.cpp.o" "gcc" "src/systems/CMakeFiles/turret_systems.dir/prime/prime_replica.cpp.o.d"
+  "/root/repo/src/systems/prime/prime_scenario.cpp" "src/systems/CMakeFiles/turret_systems.dir/prime/prime_scenario.cpp.o" "gcc" "src/systems/CMakeFiles/turret_systems.dir/prime/prime_scenario.cpp.o.d"
+  "/root/repo/src/systems/steward/steward_client.cpp" "src/systems/CMakeFiles/turret_systems.dir/steward/steward_client.cpp.o" "gcc" "src/systems/CMakeFiles/turret_systems.dir/steward/steward_client.cpp.o.d"
+  "/root/repo/src/systems/steward/steward_replica.cpp" "src/systems/CMakeFiles/turret_systems.dir/steward/steward_replica.cpp.o" "gcc" "src/systems/CMakeFiles/turret_systems.dir/steward/steward_replica.cpp.o.d"
+  "/root/repo/src/systems/steward/steward_scenario.cpp" "src/systems/CMakeFiles/turret_systems.dir/steward/steward_scenario.cpp.o" "gcc" "src/systems/CMakeFiles/turret_systems.dir/steward/steward_scenario.cpp.o.d"
+  "/root/repo/src/systems/zyzzyva/zyzzyva_client.cpp" "src/systems/CMakeFiles/turret_systems.dir/zyzzyva/zyzzyva_client.cpp.o" "gcc" "src/systems/CMakeFiles/turret_systems.dir/zyzzyva/zyzzyva_client.cpp.o.d"
+  "/root/repo/src/systems/zyzzyva/zyzzyva_replica.cpp" "src/systems/CMakeFiles/turret_systems.dir/zyzzyva/zyzzyva_replica.cpp.o" "gcc" "src/systems/CMakeFiles/turret_systems.dir/zyzzyva/zyzzyva_replica.cpp.o.d"
+  "/root/repo/src/systems/zyzzyva/zyzzyva_scenario.cpp" "src/systems/CMakeFiles/turret_systems.dir/zyzzyva/zyzzyva_scenario.cpp.o" "gcc" "src/systems/CMakeFiles/turret_systems.dir/zyzzyva/zyzzyva_scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/turret_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/turret_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/turret_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/turret_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/turret_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/proxy/CMakeFiles/turret_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/netem/CMakeFiles/turret_netem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

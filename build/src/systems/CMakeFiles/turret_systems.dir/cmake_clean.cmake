@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turret_systems.dir/aardvark/aardvark_client.cpp.o"
+  "CMakeFiles/turret_systems.dir/aardvark/aardvark_client.cpp.o.d"
+  "CMakeFiles/turret_systems.dir/aardvark/aardvark_replica.cpp.o"
+  "CMakeFiles/turret_systems.dir/aardvark/aardvark_replica.cpp.o.d"
+  "CMakeFiles/turret_systems.dir/aardvark/aardvark_scenario.cpp.o"
+  "CMakeFiles/turret_systems.dir/aardvark/aardvark_scenario.cpp.o.d"
+  "CMakeFiles/turret_systems.dir/pbft/pbft_client.cpp.o"
+  "CMakeFiles/turret_systems.dir/pbft/pbft_client.cpp.o.d"
+  "CMakeFiles/turret_systems.dir/pbft/pbft_replica.cpp.o"
+  "CMakeFiles/turret_systems.dir/pbft/pbft_replica.cpp.o.d"
+  "CMakeFiles/turret_systems.dir/pbft/pbft_scenario.cpp.o"
+  "CMakeFiles/turret_systems.dir/pbft/pbft_scenario.cpp.o.d"
+  "CMakeFiles/turret_systems.dir/prime/prime_client.cpp.o"
+  "CMakeFiles/turret_systems.dir/prime/prime_client.cpp.o.d"
+  "CMakeFiles/turret_systems.dir/prime/prime_replica.cpp.o"
+  "CMakeFiles/turret_systems.dir/prime/prime_replica.cpp.o.d"
+  "CMakeFiles/turret_systems.dir/prime/prime_scenario.cpp.o"
+  "CMakeFiles/turret_systems.dir/prime/prime_scenario.cpp.o.d"
+  "CMakeFiles/turret_systems.dir/steward/steward_client.cpp.o"
+  "CMakeFiles/turret_systems.dir/steward/steward_client.cpp.o.d"
+  "CMakeFiles/turret_systems.dir/steward/steward_replica.cpp.o"
+  "CMakeFiles/turret_systems.dir/steward/steward_replica.cpp.o.d"
+  "CMakeFiles/turret_systems.dir/steward/steward_scenario.cpp.o"
+  "CMakeFiles/turret_systems.dir/steward/steward_scenario.cpp.o.d"
+  "CMakeFiles/turret_systems.dir/zyzzyva/zyzzyva_client.cpp.o"
+  "CMakeFiles/turret_systems.dir/zyzzyva/zyzzyva_client.cpp.o.d"
+  "CMakeFiles/turret_systems.dir/zyzzyva/zyzzyva_replica.cpp.o"
+  "CMakeFiles/turret_systems.dir/zyzzyva/zyzzyva_replica.cpp.o.d"
+  "CMakeFiles/turret_systems.dir/zyzzyva/zyzzyva_scenario.cpp.o"
+  "CMakeFiles/turret_systems.dir/zyzzyva/zyzzyva_scenario.cpp.o.d"
+  "libturret_systems.a"
+  "libturret_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turret_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turret-run.dir/turret_run_main.cpp.o"
+  "CMakeFiles/turret-run.dir/turret_run_main.cpp.o.d"
+  "turret-run"
+  "turret-run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turret-run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

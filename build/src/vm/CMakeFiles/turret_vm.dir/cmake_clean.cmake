@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turret_vm.dir/machine.cpp.o"
+  "CMakeFiles/turret_vm.dir/machine.cpp.o.d"
+  "CMakeFiles/turret_vm.dir/memory.cpp.o"
+  "CMakeFiles/turret_vm.dir/memory.cpp.o.d"
+  "CMakeFiles/turret_vm.dir/snapshot.cpp.o"
+  "CMakeFiles/turret_vm.dir/snapshot.cpp.o.d"
+  "libturret_vm.a"
+  "libturret_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turret_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turret-msgc.dir/msgc_main.cpp.o"
+  "CMakeFiles/turret-msgc.dir/msgc_main.cpp.o.d"
+  "turret-msgc"
+  "turret-msgc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turret-msgc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wire/codegen.cpp" "src/wire/CMakeFiles/turret_wire.dir/codegen.cpp.o" "gcc" "src/wire/CMakeFiles/turret_wire.dir/codegen.cpp.o.d"
+  "/root/repo/src/wire/message.cpp" "src/wire/CMakeFiles/turret_wire.dir/message.cpp.o" "gcc" "src/wire/CMakeFiles/turret_wire.dir/message.cpp.o.d"
+  "/root/repo/src/wire/schema.cpp" "src/wire/CMakeFiles/turret_wire.dir/schema.cpp.o" "gcc" "src/wire/CMakeFiles/turret_wire.dir/schema.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/turret_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

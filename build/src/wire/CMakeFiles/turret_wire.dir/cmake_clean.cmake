@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turret_wire.dir/codegen.cpp.o"
+  "CMakeFiles/turret_wire.dir/codegen.cpp.o.d"
+  "CMakeFiles/turret_wire.dir/message.cpp.o"
+  "CMakeFiles/turret_wire.dir/message.cpp.o.d"
+  "CMakeFiles/turret_wire.dir/schema.cpp.o"
+  "CMakeFiles/turret_wire.dir/schema.cpp.o.d"
+  "libturret_wire.a"
+  "libturret_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turret_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_aardvark.cpp" "tests/CMakeFiles/turret_tests.dir/test_aardvark.cpp.o" "gcc" "tests/CMakeFiles/turret_tests.dir/test_aardvark.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/turret_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/turret_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_conformance.cpp" "tests/CMakeFiles/turret_tests.dir/test_conformance.cpp.o" "gcc" "tests/CMakeFiles/turret_tests.dir/test_conformance.cpp.o.d"
+  "/root/repo/tests/test_netem.cpp" "tests/CMakeFiles/turret_tests.dir/test_netem.cpp.o" "gcc" "tests/CMakeFiles/turret_tests.dir/test_netem.cpp.o.d"
+  "/root/repo/tests/test_pbft.cpp" "tests/CMakeFiles/turret_tests.dir/test_pbft.cpp.o" "gcc" "tests/CMakeFiles/turret_tests.dir/test_pbft.cpp.o.d"
+  "/root/repo/tests/test_prime.cpp" "tests/CMakeFiles/turret_tests.dir/test_prime.cpp.o" "gcc" "tests/CMakeFiles/turret_tests.dir/test_prime.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/turret_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/turret_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_proxy.cpp" "tests/CMakeFiles/turret_tests.dir/test_proxy.cpp.o" "gcc" "tests/CMakeFiles/turret_tests.dir/test_proxy.cpp.o.d"
+  "/root/repo/tests/test_runtime.cpp" "tests/CMakeFiles/turret_tests.dir/test_runtime.cpp.o" "gcc" "tests/CMakeFiles/turret_tests.dir/test_runtime.cpp.o.d"
+  "/root/repo/tests/test_search.cpp" "tests/CMakeFiles/turret_tests.dir/test_search.cpp.o" "gcc" "tests/CMakeFiles/turret_tests.dir/test_search.cpp.o.d"
+  "/root/repo/tests/test_serial.cpp" "tests/CMakeFiles/turret_tests.dir/test_serial.cpp.o" "gcc" "tests/CMakeFiles/turret_tests.dir/test_serial.cpp.o.d"
+  "/root/repo/tests/test_steward.cpp" "tests/CMakeFiles/turret_tests.dir/test_steward.cpp.o" "gcc" "tests/CMakeFiles/turret_tests.dir/test_steward.cpp.o.d"
+  "/root/repo/tests/test_viewchange_search.cpp" "tests/CMakeFiles/turret_tests.dir/test_viewchange_search.cpp.o" "gcc" "tests/CMakeFiles/turret_tests.dir/test_viewchange_search.cpp.o.d"
+  "/root/repo/tests/test_vm.cpp" "tests/CMakeFiles/turret_tests.dir/test_vm.cpp.o" "gcc" "tests/CMakeFiles/turret_tests.dir/test_vm.cpp.o.d"
+  "/root/repo/tests/test_wire.cpp" "tests/CMakeFiles/turret_tests.dir/test_wire.cpp.o" "gcc" "tests/CMakeFiles/turret_tests.dir/test_wire.cpp.o.d"
+  "/root/repo/tests/test_zyzzyva.cpp" "tests/CMakeFiles/turret_tests.dir/test_zyzzyva.cpp.o" "gcc" "tests/CMakeFiles/turret_tests.dir/test_zyzzyva.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/systems/CMakeFiles/turret_systems.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/turret_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/proxy/CMakeFiles/turret_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/turret_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/turret_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/netem/CMakeFiles/turret_netem.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/turret_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/turret_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
