@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdarg>
+#include <mutex>
 
 namespace turret {
 namespace {
@@ -29,7 +30,20 @@ void log_line(LogLevel level, const char* file, int line, std::string msg) {
   for (const char* p = file; *p; ++p) {
     if (*p == '/') base = p + 1;
   }
-  std::fprintf(stderr, "[%s %s:%d] %s\n", level_name(level), base, line, msg.c_str());
+  // Concurrent branch executions log from worker threads; format the whole
+  // line first and emit it as one locked write so lines never interleave.
+  std::string out = "[";
+  out += level_name(level);
+  out += ' ';
+  out += base;
+  out += ':';
+  out += std::to_string(line);
+  out += "] ";
+  out += msg;
+  out += '\n';
+  static std::mutex sink_mu;
+  std::lock_guard<std::mutex> lock(sink_mu);
+  std::fwrite(out.data(), 1, out.size(), stderr);
 }
 
 std::string format(const char* fmt, ...) {

@@ -174,49 +174,97 @@ Bytes Testbed::save_snapshot() {
   emu_.freeze();
   for (auto& vm : vms_) vm->pause();
 
+  // Each component serializes into its own length-prefixed section so that
+  // decode_snapshot() can split the blob without understanding component
+  // internals.
   serial::Writer w;
   w.boolean(started_);
   w.u32(static_cast<std::uint32_t>(vms_.size()));
-  for (const auto& vm : vms_) vm->save(w);
-  emu_.save(w);
-  w.u32(static_cast<std::uint32_t>(timer_gen_.size()));
-  for (const auto& [key, gen] : timer_gen_) {
-    w.u32(key.first);
-    w.u64(key.second);
-    w.u64(gen);
+  for (const auto& vm : vms_) {
+    serial::Writer section;
+    vm->save(section);
+    w.bytes(section.data());
   }
-  metrics_.save(w);
+  {
+    serial::Writer section;
+    emu_.save(section);
+    w.bytes(section.data());
+  }
+  {
+    serial::Writer section;
+    section.u32(static_cast<std::uint32_t>(timer_gen_.size()));
+    for (const auto& [key, gen] : timer_gen_) {
+      section.u32(key.first);
+      section.u64(key.second);
+      section.u64(gen);
+    }
+    w.bytes(section.data());
+  }
+  {
+    serial::Writer section;
+    metrics_.save(section);
+    w.bytes(section.data());
+  }
 
   for (auto& vm : vms_) vm->resume();
   emu_.resume();
   return w.take();
 }
 
-void Testbed::load_snapshot(BytesView snapshot) {
+DecodedSnapshot Testbed::decode_snapshot(BytesView snapshot) {
   serial::Reader r(snapshot);
-  started_ = r.boolean();
+  DecodedSnapshot d;
+  d.started = r.boolean();
   const std::uint32_t n = r.u32();
-  TURRET_CHECK_MSG(n == vms_.size(),
+  d.vm_sections.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) d.vm_sections.push_back(r.bytes());
+  d.emu_section = r.bytes();
+  {
+    const Bytes section = r.bytes();
+    serial::Reader tr(section);
+    const std::uint32_t nt = tr.u32();
+    for (std::uint32_t i = 0; i < nt; ++i) {
+      const NodeId node = tr.u32();
+      const std::uint64_t timer_id = tr.u64();
+      const std::uint64_t gen = tr.u64();
+      d.timers[{node, timer_id}] = gen;
+    }
+    TURRET_CHECK_MSG(tr.exhausted(), "trailing bytes in timer section");
+  }
+  {
+    const Bytes section = r.bytes();
+    serial::Reader mr(section);
+    d.metrics.load(mr);
+    TURRET_CHECK_MSG(mr.exhausted(), "trailing bytes in metrics section");
+  }
+  TURRET_CHECK_MSG(r.exhausted(), "trailing bytes in testbed snapshot");
+  return d;
+}
+
+void Testbed::load_snapshot(BytesView snapshot) {
+  load_snapshot(decode_snapshot(snapshot));
+}
+
+void Testbed::load_snapshot(const DecodedSnapshot& snapshot) {
+  started_ = snapshot.started;
+  TURRET_CHECK_MSG(snapshot.vm_sections.size() == vms_.size(),
                    "snapshot VM count does not match testbed config");
   // Restore order (reverse of save): network first, then VMs, then resume.
-  // We must read fields in stream order, so stage the VM payloads by letting
-  // each VM deserialize itself (guests are rebuilt fresh first).
-  for (NodeId id = 0; id < n; ++id) {
+  // Guests are rebuilt fresh, then their state is loaded from their section.
+  for (NodeId id = 0; id < vms_.size(); ++id) {
     vms_[id] = std::make_unique<vm::VirtualMachine>(
         id, factory_(id), cfg_.cpu, /*seed=*/0);  // RNG state overwritten by load
+    serial::Reader r(snapshot.vm_sections[id]);
     vms_[id]->load(r);
+    TURRET_CHECK_MSG(r.exhausted(), "trailing bytes in VM section");
   }
-  emu_.load(r);
-  timer_gen_.clear();
-  const std::uint32_t nt = r.u32();
-  for (std::uint32_t i = 0; i < nt; ++i) {
-    const NodeId node = r.u32();
-    const std::uint64_t timer_id = r.u64();
-    const std::uint64_t gen = r.u64();
-    timer_gen_[{node, timer_id}] = gen;
+  {
+    serial::Reader r(snapshot.emu_section);
+    emu_.load(r);
+    TURRET_CHECK_MSG(r.exhausted(), "trailing bytes in emulator section");
   }
-  metrics_.load(r);
-  TURRET_CHECK_MSG(r.exhausted(), "trailing bytes in testbed snapshot");
+  timer_gen_ = snapshot.timers;
+  metrics_ = snapshot.metrics;
 
   for (auto& vm : vms_) vm->resume();  // they were saved in the paused state
   emu_.resume();

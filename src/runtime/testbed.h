@@ -37,6 +37,20 @@ struct TestbedConfig {
   std::uint64_t seed = 1;
 };
 
+/// A snapshot blob parsed once into its sections. Branching executes the same
+/// injection-point snapshot many times; decoding up front means each branch
+/// pays a copy of plain data structures (timers, metrics) and a per-section
+/// parse of VM/emulator state instead of re-scanning the whole flat blob.
+/// Immutable after decode_snapshot(), so branches on worker threads may load
+/// from one shared DecodedSnapshot concurrently.
+struct DecodedSnapshot {
+  bool started = false;
+  std::vector<Bytes> vm_sections;  ///< one VirtualMachine::save payload each
+  Bytes emu_section;               ///< netem::Emulator::save payload
+  std::map<std::pair<NodeId, std::uint64_t>, std::uint64_t> timers;
+  MetricsCollector metrics;
+};
+
 class Testbed final : public netem::MessageSink {
  public:
   Testbed(TestbedConfig cfg, GuestFactory factory);
@@ -70,8 +84,16 @@ class Testbed final : public netem::MessageSink {
   /// Serialize the entire system state (network + all VMs + timers + metrics).
   Bytes save_snapshot();
 
+  /// Parse a save_snapshot() blob into its sections. Pure function of the
+  /// blob; safe to call from any thread.
+  static DecodedSnapshot decode_snapshot(BytesView snapshot);
+
   /// Restore a snapshot taken from a testbed with identical config/factory.
   void load_snapshot(BytesView snapshot);
+
+  /// Same, from a pre-decoded snapshot; `snapshot` is only read and may be
+  /// shared by concurrent loads into different testbeds.
+  void load_snapshot(const DecodedSnapshot& snapshot);
 
   // --- netem::MessageSink --------------------------------------------------
 

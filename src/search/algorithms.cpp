@@ -1,11 +1,13 @@
 #include "search/algorithms.h"
 
 #include <algorithm>
+#include <future>
 #include <map>
 #include <set>
 
 #include "common/check.h"
 #include "common/log.h"
+#include "common/thread_pool.h"
 
 namespace turret::search {
 namespace {
@@ -20,26 +22,39 @@ struct Evaluation {
   double rank() const { return crashes > 0 ? 2.0 + crashes : damage; }
 };
 
-Evaluation evaluate_once(BranchExecutor& exec,
-                         const BranchExecutor::InjectionPoint& ip,
-                         const proxy::MaliciousAction& action,
+Evaluation to_evaluation(const Scenario& sc,
+                         const BranchExecutor::BranchOutcome& out,
                          const WindowPerf& base) {
-  const auto out = exec.run_branch(ip, &action, 1);
   Evaluation ev;
   ev.perf = out.windows[0];
-  ev.damage = compute_damage(exec.scenario().metric, base, ev.perf);
+  ev.damage = compute_damage(sc.metric, base, ev.perf);
   ev.crashes = out.new_crashes;
   return ev;
 }
 
-/// Two-window classification branch for a candidate attack: distinguishes
-/// crash / halt / sustained degradation / transient (system recovered).
-AttackReport classify(BranchExecutor& exec,
-                      const BranchExecutor::InjectionPoint& ip,
-                      const proxy::MaliciousAction& action,
-                      const WindowPerf& base) {
-  const Scenario& sc = exec.scenario();
-  const auto out = exec.run_branch(ip, &action, 2);
+/// Batch-evaluate every action for one injection point: one parallel branch
+/// each, outcomes merged in action order.
+std::vector<Evaluation> evaluate_all(
+    BranchExecutor& exec, const BranchExecutor::InjectionPoint& ip,
+    const std::vector<proxy::MaliciousAction>& actions, const WindowPerf& base) {
+  std::vector<const proxy::MaliciousAction*> ptrs;
+  ptrs.reserve(actions.size());
+  for (const proxy::MaliciousAction& a : actions) ptrs.push_back(&a);
+  const auto outcomes = exec.run_branches(ip, ptrs, 1);
+  std::vector<Evaluation> evals;
+  evals.reserve(outcomes.size());
+  for (const auto& out : outcomes)
+    evals.push_back(to_evaluation(exec.scenario(), out, base));
+  return evals;
+}
+
+/// Build the report for a candidate attack from its two-window classification
+/// branch: distinguishes crash / halt / sustained degradation / transient.
+AttackReport make_report(const Scenario& sc,
+                         const BranchExecutor::InjectionPoint& ip,
+                         const proxy::MaliciousAction& action,
+                         const WindowPerf& base,
+                         const BranchExecutor::BranchOutcome& out) {
   const WindowPerf& w0 = out.windows[0];
   const WindowPerf& w1 = out.windows[1];
 
@@ -63,6 +78,14 @@ AttackReport classify(BranchExecutor& exec,
     rep.effect = AttackEffect::kTransient;
   }
   return rep;
+}
+
+AttackReport classify(BranchExecutor& exec,
+                      const BranchExecutor::InjectionPoint& ip,
+                      const proxy::MaliciousAction& action,
+                      const WindowPerf& base) {
+  return make_report(exec.scenario(), ip, action, base,
+                     exec.run_branch(ip, &action, 2));
 }
 
 std::string action_key(wire::TypeTag tag, const proxy::MaliciousAction& a) {
@@ -101,76 +124,124 @@ SearchResult brute_force_search(const Scenario& sc) {
               0};
   }
 
+  // Brute force cannot branch, so every measurement below is an independent
+  // full execution from t = 0 — exactly the shape a worker pool wants. All
+  // executions (per-type baselines and per-action attack runs) are fanned out
+  // across the pool; the merge then replays the serial per-tag, per-action
+  // order so cost accounting and found_after are byte-identical to a
+  // single-worker run.
+  auto window_perf = [&sc](const runtime::Testbed& tb, Time t0,
+                           Time t1) -> WindowPerf {
+    WindowPerf out;
+    if (sc.metric.kind == MetricSpec::Kind::kRate) {
+      out.value = tb.metrics().rate(sc.metric.name, t0, t1);
+      out.samples = static_cast<std::uint64_t>(
+          tb.metrics().total(sc.metric.name, t0, t1));
+    } else {
+      const auto s = tb.metrics().summary(sc.metric.name, t0, t1);
+      out.value = s.mean();
+      out.samples = s.count;
+    }
+    return out;
+  };
+
+  struct FullRun {
+    WindowPerf w0, w1;
+    std::uint32_t crashes = 0;
+  };
+  struct TagWork {
+    wire::TypeTag tag = 0;
+    Time t0 = 0;
+    std::vector<proxy::MaliciousAction> actions;
+    std::future<WindowPerf> base;
+    std::vector<std::future<FullRun>> runs;
+  };
+
+  // Enumerate every execution first (futures reference the stored actions).
+  std::vector<TagWork> work;
   for (wire::TypeTag tag : order) {
     const wire::MessageSpec* spec = sc.schema->by_tag(tag);
     if (spec == nullptr) continue;
-    const Time t0 = first_send.at(tag);
-    const Time t_end = t0 + 2 * sc.window;
+    TagWork tw;
+    tw.tag = tag;
+    tw.t0 = first_send.at(tag);
+    tw.actions = proxy::enumerate_actions(*spec, sc.actions);
+    work.push_back(std::move(tw));
+  }
 
+  ThreadPool pool;
+  for (TagWork& tw : work) {
+    const Time t0 = tw.t0;
+    const Time t_end = t0 + 2 * sc.window;
     // Per-type baseline window from a dedicated benign run (brute force can
     // not branch, so it pays a full execution even for the baseline).
-    WindowPerf base;
-    {
+    tw.base = pool.submit([&sc, &window_perf, t0] {
       ScenarioWorld w = make_scenario_world(sc);
       w.testbed->start();
       w.testbed->run_until(t0 + sc.window);
-      cost.execution += t0 + sc.window;
-      ++cost.branches;
-      if (sc.metric.kind == MetricSpec::Kind::kRate) {
-        base.value = w.testbed->metrics().rate(sc.metric.name, t0, t0 + sc.window);
-        base.samples = static_cast<std::uint64_t>(
-            w.testbed->metrics().total(sc.metric.name, t0, t0 + sc.window));
-      } else {
-        const auto s = w.testbed->metrics().summary(sc.metric.name, t0, t0 + sc.window);
-        base.value = s.mean();
-        base.samples = s.count;
-      }
-    }
-
-    for (const proxy::MaliciousAction& action :
-         proxy::enumerate_actions(*spec, sc.actions)) {
+      return window_perf(*w.testbed, t0, t0 + sc.window);
+    });
+    tw.runs.reserve(tw.actions.size());
+    for (const proxy::MaliciousAction& action : tw.actions) {
       // A full execution per scenario, attack armed from the start; the
       // injection point is still the first send of the type, which the armed
       // action is what transforms.
-      ScenarioWorld w = make_scenario_world(sc);
-      w.proxy->arm(action);
-      w.testbed->start();
-      w.testbed->run_until(t_end);
+      tw.runs.push_back(pool.submit([&sc, &window_perf, &action, t0, t_end] {
+        ScenarioWorld w = make_scenario_world(sc);
+        w.proxy->arm(action);
+        w.testbed->start();
+        w.testbed->run_until(t_end);
+        FullRun run;
+        run.w0 = window_perf(*w.testbed, t0, t0 + sc.window);
+        run.w1 = window_perf(*w.testbed, t0 + sc.window, t_end);
+        run.crashes =
+            static_cast<std::uint32_t>(w.testbed->crashed_nodes().size());
+        return run;
+      }));
+    }
+  }
+
+  // Deterministic merge in original (tag, action) order. Drain every future
+  // before letting an exception escape — tasks reference this frame.
+  std::exception_ptr first_error;
+  for (TagWork& tw : work) {
+    const Time t0 = tw.t0;
+    const Time t_end = t0 + 2 * sc.window;
+    WindowPerf base;
+    try {
+      base = tw.base.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+    cost.execution += t0 + sc.window;
+    ++cost.branches;
+
+    for (std::size_t i = 0; i < tw.runs.size(); ++i) {
+      FullRun run;
+      try {
+        run = tw.runs[i].get();
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+        continue;
+      }
       cost.execution += t_end;
       ++cost.branches;
-
-      WindowPerf w0, w1;
-      if (sc.metric.kind == MetricSpec::Kind::kRate) {
-        w0 = {w.testbed->metrics().rate(sc.metric.name, t0, t0 + sc.window),
-              static_cast<std::uint64_t>(
-                  w.testbed->metrics().total(sc.metric.name, t0, t0 + sc.window))};
-        w1 = {w.testbed->metrics().rate(sc.metric.name, t0 + sc.window, t_end),
-              static_cast<std::uint64_t>(w.testbed->metrics().total(
-                  sc.metric.name, t0 + sc.window, t_end))};
-      } else {
-        const auto s0 = w.testbed->metrics().summary(sc.metric.name, t0, t0 + sc.window);
-        const auto s1 = w.testbed->metrics().summary(sc.metric.name, t0 + sc.window, t_end);
-        w0 = {s0.mean(), s0.count};
-        w1 = {s1.mean(), s1.count};
-      }
-      const double damage = compute_damage(sc.metric, base, w0);
-      const auto crashes =
-          static_cast<std::uint32_t>(w.testbed->crashed_nodes().size());
-
-      if (crashes == 0 && damage <= sc.delta) continue;
+      const double damage = compute_damage(sc.metric, base, run.w0);
+      if (run.crashes == 0 && damage <= sc.delta) continue;
 
       AttackReport rep;
-      rep.action = action;
+      rep.action = tw.actions[i];
       rep.baseline_performance = base.value;
-      rep.attacked_performance = w0.value;
-      rep.recovery_performance = w1.value;
+      rep.attacked_performance = run.w0.value;
+      rep.recovery_performance = run.w1.value;
       rep.damage = damage;
-      rep.crashed_nodes = crashes;
+      rep.crashed_nodes = run.crashes;
       rep.injection_time = t0;
-      const double damage2 = compute_damage(sc.metric, base, w1);
-      if (crashes > 0) {
+      const double damage2 = compute_damage(sc.metric, base, run.w1);
+      if (run.crashes > 0) {
         rep.effect = AttackEffect::kCrash;
-      } else if (w0.samples == 0 && w1.samples == 0 && base.samples > 0) {
+      } else if (run.w0.samples == 0 && run.w1.samples == 0 &&
+                 base.samples > 0) {
         rep.effect = AttackEffect::kHalt;
       } else if (damage2 > sc.delta) {
         rep.effect = AttackEffect::kDegradation;
@@ -181,6 +252,7 @@ SearchResult brute_force_search(const Scenario& sc) {
       res.attacks.push_back(std::move(rep));
     }
   }
+  if (first_error) std::rethrow_exception(first_error);
   res.baseline_performance = benign.value;
   return res;
 }
@@ -222,13 +294,18 @@ SearchResult greedy_search(const Scenario& sc, const GreedyOptions& opt) {
       BranchExecutor::InjectionPoint winner_ip = ip0;
       for (int round = 0; round < opt.confirmations; ++round) {
         const WindowPerf base = exec.baseline(ip);
+        // One batch per round: greedy needs *every* action's damage at this
+        // injection point before it can select, so the whole action set fans
+        // out in parallel and the winner is picked from the merged results
+        // (first index wins ties, matching the serial scan).
+        const std::vector<Evaluation> evals =
+            evaluate_all(exec, ip, actions, base);
         std::optional<std::size_t> best;
         double best_rank = 0;
-        for (std::size_t i = 0; i < actions.size(); ++i) {
-          const Evaluation ev = evaluate_once(exec, ip, actions[i], base);
-          if (!best || ev.rank() > best_rank) {
+        for (std::size_t i = 0; i < evals.size(); ++i) {
+          if (!best || evals[i].rank() > best_rank) {
             best = i;
-            best_rank = ev.rank();
+            best_rank = evals[i].rank();
           }
         }
         if (!best || best_rank <= sc.delta) {
@@ -280,33 +357,64 @@ SearchResult weighted_greedy_search(const Scenario& sc,
   for (const auto& ip : points) {
     const wire::MessageSpec* spec = sc.schema->by_tag(ip.tag);
     if (spec == nullptr) continue;
-    std::vector<proxy::MaliciousAction> remaining =
+    const std::vector<proxy::MaliciousAction> actions =
         proxy::enumerate_actions(*spec, sc.actions);
     const WindowPerf base = exec.baseline(ip);
 
-    while (!remaining.empty()) {
-      // Pick the not-yet-tried action from the highest-weight cluster
-      // (stable: enumeration order breaks ties), so learned weights steer
-      // both this message type's scan and every later one.
+    // The serial scan tries actions one at a time in descending cluster-
+    // weight order. The *set* of branches it executes is order-independent:
+    // every action is evaluated once, and every action whose damage exceeds
+    // Δ is additionally classified. So both rounds fan out as batches, and
+    // the weight-ordered scan below is a replay over precomputed outcomes —
+    // report order, weight bumps and found_after are byte-identical to the
+    // serial algorithm.
+    const Duration cost_before = exec.cost().total();
+    const std::vector<Evaluation> evals = evaluate_all(exec, ip, actions, base);
+
+    std::vector<const proxy::MaliciousAction*> qualifying;
+    std::vector<std::size_t> qualifying_index(actions.size(), SIZE_MAX);
+    for (std::size_t i = 0; i < actions.size(); ++i) {
+      if (evals[i].rank() > sc.delta) {
+        qualifying_index[i] = qualifying.size();
+        qualifying.push_back(&actions[i]);
+      }
+    }
+    const std::vector<BranchExecutor::BranchOutcome> classified =
+        exec.run_branches(ip, qualifying, 2);
+
+    // Replay: pick the not-yet-tried action from the highest-weight cluster
+    // (stable: enumeration order breaks ties), so learned weights steer both
+    // this message type's scan and every later one. `running` reconstructs
+    // the serial cost clock: each pick pays its evaluation branch and, if it
+    // qualifies, its classification branch.
+    const Duration eval_cost = sc.window + sc.branch_cost.load_cost;
+    const Duration classify_cost = 2 * sc.window + sc.branch_cost.load_cost;
+    Duration running = cost_before;
+    std::vector<std::size_t> alive(actions.size());
+    for (std::size_t i = 0; i < alive.size(); ++i) alive[i] = i;
+    while (!alive.empty()) {
       std::size_t pick = 0;
-      for (std::size_t i = 1; i < remaining.size(); ++i) {
-        if (weights[remaining[i].cluster()] > weights[remaining[pick].cluster()])
+      for (std::size_t i = 1; i < alive.size(); ++i) {
+        if (weights[actions[alive[i]].cluster()] >
+            weights[actions[alive[pick]].cluster()])
           pick = i;
       }
-      const proxy::MaliciousAction action = std::move(remaining[pick]);
-      remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(pick));
+      const std::size_t idx = alive[pick];
+      alive.erase(alive.begin() + static_cast<std::ptrdiff_t>(pick));
 
-      const Evaluation ev = evaluate_once(exec, ip, action, base);
-      if (ev.rank() <= sc.delta) continue;
+      running += eval_cost;
+      if (evals[idx].rank() <= sc.delta) continue;
 
       // The moment an action qualifies as an attack, report it and raise its
       // cluster's weight. (The paper stops the scan here and lets the user
       // repeat the search; in a deterministic platform re-running with the
       // found attacks excluded is identical to continuing the scan, so we
       // continue — found_after still records when each attack surfaced.)
-      AttackReport rep = classify(exec, ip, action, base);
-      rep.found_after = exec.cost().total();
-      weights[action.cluster()] += opt.bump;
+      running += classify_cost;
+      AttackReport rep = make_report(sc, ip, actions[idx], base,
+                                     classified[qualifying_index[idx]]);
+      rep.found_after = running;
+      weights[actions[idx].cluster()] += opt.bump;
       TLOG_INFO("weighted-greedy: %s", rep.describe().c_str());
       res.attacks.push_back(std::move(rep));
     }

@@ -112,12 +112,36 @@ WindowPerf BranchExecutor::benign_performance() {
   return *benign_perf_;
 }
 
-BranchExecutor::BranchOutcome BranchExecutor::run_branch(
-    const InjectionPoint& ip, const proxy::MaliciousAction* action,
-    int windows) {
-  TURRET_CHECK(windows >= 1);
+const runtime::DecodedSnapshot& BranchExecutor::decoded(
+    const InjectionPoint& ip) {
+  TURRET_CHECK_MSG(ip.snapshot != nullptr, "injection point has no snapshot");
+  auto it = decoded_cache_.find(ip.snapshot.get());
+  if (it == decoded_cache_.end()) {
+    // Continuation chains produce a fresh blob per step; keep the cache from
+    // growing without bound by dropping everything once it gets large (the
+    // working set is the handful of points branched from right now).
+    if (decoded_cache_.size() >= 32) decoded_cache_.clear();
+    DecodedEntry e;
+    e.blob = ip.snapshot;
+    e.snapshot = std::make_unique<const runtime::DecodedSnapshot>(
+        runtime::Testbed::decode_snapshot(*ip.snapshot));
+    it = decoded_cache_.emplace(ip.snapshot.get(), std::move(e)).first;
+  }
+  return *it->second.snapshot;
+}
+
+ThreadPool& BranchExecutor::pool() {
+  const unsigned jobs = default_jobs();
+  if (pool_ == nullptr || pool_->size() != jobs)
+    pool_ = std::make_unique<ThreadPool>(jobs);
+  return *pool_;
+}
+
+BranchExecutor::BranchOutcome BranchExecutor::execute_branch(
+    const runtime::DecodedSnapshot& snap, const InjectionPoint& ip,
+    const proxy::MaliciousAction* action, int windows) const {
   ScenarioWorld w = make_scenario_world(sc_);
-  w.testbed->load_snapshot(*ip.snapshot);
+  w.testbed->load_snapshot(snap);
   if (action != nullptr) w.proxy->arm(*action);
 
   const std::uint32_t crashed_before =
@@ -132,11 +156,63 @@ BranchExecutor::BranchOutcome BranchExecutor::run_branch(
   out.new_crashes =
       static_cast<std::uint32_t>(w.testbed->crashed_nodes().size()) -
       crashed_before;
+  return out;
+}
 
+BranchExecutor::BranchOutcome BranchExecutor::run_branch(
+    const InjectionPoint& ip, const proxy::MaliciousAction* action,
+    int windows) {
+  TURRET_CHECK(windows >= 1);
+  BranchOutcome out = execute_branch(decoded(ip), ip, action, windows);
   ++cost_.branches;
   ++cost_.loads;
   cost_.snapshots += sc_.branch_cost.load_cost;
   cost_.execution += windows * sc_.window;
+  return out;
+}
+
+std::vector<BranchExecutor::BranchOutcome> BranchExecutor::run_branches(
+    const InjectionPoint& ip,
+    const std::vector<const proxy::MaliciousAction*>& actions, int windows) {
+  TURRET_CHECK(windows >= 1);
+  const runtime::DecodedSnapshot& snap = decoded(ip);
+  std::vector<BranchOutcome> out(actions.size());
+
+  if (actions.size() <= 1 || default_jobs() <= 1) {
+    for (std::size_t i = 0; i < actions.size(); ++i) {
+      out[i] = execute_branch(snap, ip, actions[i], windows);
+    }
+  } else {
+    ThreadPool& workers = pool();
+    std::vector<std::future<BranchOutcome>> futures;
+    futures.reserve(actions.size());
+    for (std::size_t i = 0; i < actions.size(); ++i) {
+      const proxy::MaliciousAction* action = actions[i];
+      futures.push_back(workers.submit([this, &snap, &ip, action, windows] {
+        return execute_branch(snap, ip, action, windows);
+      }));
+    }
+    // Merge in input order. Every future is drained before any exception
+    // propagates: the tasks reference run_branches locals, so no branch may
+    // outlive this frame.
+    std::exception_ptr first_error;
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      try {
+        out[i] = futures[i].get();
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  // Per-branch charges are identical to run_branch's, and integer sums are
+  // order-independent, so serial and parallel runs account the same cost.
+  const auto n = static_cast<std::uint64_t>(actions.size());
+  cost_.branches += n;
+  cost_.loads += n;
+  cost_.snapshots += static_cast<Duration>(n) * sc_.branch_cost.load_cost;
+  cost_.execution += static_cast<Duration>(n) * windows * sc_.window;
   return out;
 }
 
@@ -152,7 +228,7 @@ BranchExecutor::InjectionPoint BranchExecutor::continue_branch(
     const InjectionPoint& ip, const proxy::MaliciousAction* action,
     Duration dur) {
   ScenarioWorld w = make_scenario_world(sc_);
-  w.testbed->load_snapshot(*ip.snapshot);
+  w.testbed->load_snapshot(decoded(ip));
   if (action != nullptr) w.proxy->arm(*action);
   w.testbed->run_until(ip.time + dur);
   w.proxy->disarm();

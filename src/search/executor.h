@@ -10,7 +10,9 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <vector>
 
+#include "common/thread_pool.h"
 #include "proxy/proxy.h"
 #include "search/report.h"
 #include "search/scenario.h"
@@ -64,6 +66,16 @@ class BranchExecutor {
   BranchOutcome run_branch(const InjectionPoint& ip,
                            const proxy::MaliciousAction* action, int windows);
 
+  /// Batch form of run_branch: one branch per entry of `actions` (nullptr =
+  /// baseline branch), fanned out across a worker pool of default_jobs()
+  /// threads. Outcomes come back in input order and are byte-identical to
+  /// running the same branches serially, regardless of worker count: each
+  /// branch is an isolated ScenarioWorld restored from one shared immutable
+  /// decoded snapshot, and cost accounting sums the same per-branch charges.
+  std::vector<BranchOutcome> run_branches(
+      const InjectionPoint& ip,
+      const std::vector<const proxy::MaliciousAction*>& actions, int windows);
+
   /// Benign branch performance over the first window from `ip` (cached).
   WindowPerf baseline(const InjectionPoint& ip);
 
@@ -82,11 +94,32 @@ class BranchExecutor {
  private:
   WindowPerf measure(const runtime::Testbed& tb, Time t0, Time t1) const;
 
+  /// One branch execution without cost accounting (the accounting is done by
+  /// the caller so batch and serial paths charge identically).
+  BranchOutcome execute_branch(const runtime::DecodedSnapshot& snap,
+                               const InjectionPoint& ip,
+                               const proxy::MaliciousAction* action,
+                               int windows) const;
+
+  /// Decoded form of ip.snapshot, parsed once per distinct blob and shared by
+  /// every branch from that injection point.
+  const runtime::DecodedSnapshot& decoded(const InjectionPoint& ip);
+
+  /// Worker pool sized to default_jobs(), rebuilt when the knob changes.
+  ThreadPool& pool();
+
   const Scenario& sc_;
   std::optional<std::vector<InjectionPoint>> points_;
   std::map<wire::TypeTag, WindowPerf> baseline_cache_;
   std::optional<WindowPerf> benign_perf_;
   SearchCost cost_;
+
+  struct DecodedEntry {
+    std::shared_ptr<const Bytes> blob;  ///< keeps the cache key address alive
+    std::unique_ptr<const runtime::DecodedSnapshot> snapshot;
+  };
+  std::map<const Bytes*, DecodedEntry> decoded_cache_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace turret::search

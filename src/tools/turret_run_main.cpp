@@ -13,6 +13,7 @@
 #include <cstring>
 #include <string>
 
+#include "common/thread_pool.h"
 #include "search/algorithms.h"
 #include "systems/aardvark/aardvark_scenario.h"
 #include "systems/pbft/pbft_scenario.h"
@@ -35,6 +36,9 @@ void usage() {
                "  --window <sec>        observation window w (default 6)\n"
                "  --duration <sec>      discovery horizon (default per system)\n"
                "  --seed <n>            scenario seed\n"
+               "  --jobs <n>            worker threads for branch execution\n"
+               "                        (default: $TURRET_JOBS, else hardware\n"
+               "                        concurrency; 1 = serial)\n"
                "  --no-verify           disable signature verification (lying\n"
                "                        exploration, as in the paper)\n"
                "  --list                list systems and exit\n");
@@ -122,6 +126,13 @@ int main(int argc, char** argv) {
       o.duration_sec = std::atof(next());
     } else if (arg == "--seed") {
       o.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--jobs") {
+      const long v = std::strtol(next(), nullptr, 10);
+      if (v < 1) {
+        std::fprintf(stderr, "turret-run: --jobs needs a positive integer\n");
+        return 2;
+      }
+      set_default_jobs(static_cast<unsigned>(v));
     } else if (arg == "--no-verify") {
       o.verify = false;
     } else if (arg == "--list") {
@@ -142,10 +153,10 @@ int main(int argc, char** argv) {
   }
 
   const search::Scenario sc = build_scenario(o);
-  std::printf("system=%s algorithm=%s malicious=%s delta=%.2f w=%s\n",
+  std::printf("system=%s algorithm=%s malicious=%s delta=%.2f w=%s jobs=%u\n",
               sc.system_name.c_str(), o.algorithm.c_str(),
               o.malicious_primary ? "primary" : "backup", sc.delta,
-              format_duration(sc.window).c_str());
+              format_duration(sc.window).c_str(), default_jobs());
 
   search::SearchResult res;
   if (o.algorithm == "weighted") {

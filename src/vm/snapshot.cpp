@@ -122,29 +122,41 @@ void KsmIndex::scan(std::span<const MemoryImage* const> vms) {
     std::size_t pfn;
     bool multi_vm = false;
   };
+  std::size_t total_pages = 0;
+  for (const MemoryImage* img : vms) total_pages += img->page_count();
+
+  // First pass: build the content index, remembering for every page which
+  // entry its hash resolved to and whether its bytes equal that entry's
+  // canonical page. unordered_map values are node-stable, so the entry
+  // pointers survive later insertions.
   std::unordered_map<std::uint64_t, HashEntry> index;
-  index.reserve(1024);
+  index.reserve(total_pages);
+  std::vector<std::vector<const HashEntry*>> entry_of(vms.size());
+  std::vector<std::vector<bool>> matches_canonical(vms.size());
   for (std::size_t v = 0; v < vms.size(); ++v) {
     const MemoryImage& img = *vms[v];
     hashes_[v].resize(img.page_count());
     shared_flag_[v].assign(img.page_count(), false);
+    entry_of[v].resize(img.page_count());
+    matches_canonical[v].assign(img.page_count(), false);
     for (std::size_t p = 0; p < img.page_count(); ++p) {
       const std::uint64_t h = img.page_hash(p);
       hashes_[v][p] = h;
       auto [it, inserted] = index.try_emplace(h, HashEntry{v, p, false});
-      if (!inserted && it->second.vm != v &&
-          pages_equal(vms[it->second.vm]->page(it->second.pfn), img.page(p))) {
-        it->second.multi_vm = true;
+      entry_of[v][p] = &it->second;
+      bool eq = inserted;  // the canonical page trivially matches itself
+      if (!inserted) {
+        eq = pages_equal(vms[it->second.vm]->page(it->second.pfn), img.page(p));
+        if (eq && it->second.vm != v) it->second.multi_vm = true;
       }
+      matches_canonical[v][p] = eq;
     }
   }
-  // Second pass: mark every page whose content is multi-VM shared.
+  // Second pass: mark every page whose content is multi-VM shared, reusing
+  // the first pass's compare verdicts instead of re-probing every page.
   for (std::size_t v = 0; v < vms.size(); ++v) {
-    const MemoryImage& img = *vms[v];
-    for (std::size_t p = 0; p < img.page_count(); ++p) {
-      const auto it = index.find(hashes_[v][p]);
-      if (it != index.end() && it->second.multi_vm &&
-          pages_equal(vms[it->second.vm]->page(it->second.pfn), img.page(p))) {
+    for (std::size_t p = 0; p < hashes_[v].size(); ++p) {
+      if (matches_canonical[v][p] && entry_of[v][p]->multi_vm) {
         shared_flag_[v][p] = true;
       }
     }

@@ -1,0 +1,126 @@
+// Parallel search determinism: for all three algorithms, a 1-worker run and
+// an N-worker run must produce byte-identical SearchResults — same attacks,
+// same order, same damage numbers, same cost accounting. This is the merge-
+// order guarantee of BranchExecutor::run_branches (and brute force's fan-out)
+// on a real system scenario (PBFT), not the toy ticker.
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "search/algorithms.h"
+#include "systems/pbft/pbft_scenario.h"
+
+namespace turret::search {
+namespace {
+
+// A PBFT schema subset (tags match systems/pbft) keeping the action space —
+// and with it the test's runtime — small, the same way Table III hands Turret
+// a format description for the message types under study.
+constexpr char kFocusSchema[] = R"(
+protocol pbft;
+message Prepare = 3 {
+  u32   view;
+  u64   seq;
+  u32   replica;
+  bytes digest;
+}
+message Status = 7 {
+  u32   view;
+  u32   replica;
+  u64   last_exec;
+  u64   stable_seq;
+  i32   n_pending;
+}
+)";
+
+const wire::Schema& focus_schema() {
+  static const wire::Schema s = wire::parse_schema(kFocusSchema);
+  return s;
+}
+
+Scenario pbft_scenario() {
+  Scenario sc = systems::pbft::make_pbft_scenario();
+  sc.schema = &focus_schema();
+  sc.warmup = 2 * kSecond;
+  sc.duration = 8 * kSecond;
+  sc.window = 2 * kSecond;
+  // Shrink the action space so six runs of three algorithms stay fast.
+  sc.actions.drop_probabilities = {1.0};
+  sc.actions.delays = {kSecond};
+  sc.actions.duplicate_counts = {2};
+  sc.actions.divert = false;
+  sc.actions.lie_random = false;
+  sc.actions.relative_operands = {1000};
+  return sc;
+}
+
+void expect_identical(const SearchResult& a, const SearchResult& b) {
+  EXPECT_EQ(a.algorithm, b.algorithm);
+  EXPECT_DOUBLE_EQ(a.baseline_performance, b.baseline_performance);
+  EXPECT_EQ(a.cost.execution, b.cost.execution);
+  EXPECT_EQ(a.cost.snapshots, b.cost.snapshots);
+  EXPECT_EQ(a.cost.branches, b.cost.branches);
+  EXPECT_EQ(a.cost.saves, b.cost.saves);
+  EXPECT_EQ(a.cost.loads, b.cost.loads);
+  ASSERT_EQ(a.attacks.size(), b.attacks.size());
+  for (std::size_t i = 0; i < a.attacks.size(); ++i) {
+    const AttackReport& x = a.attacks[i];
+    const AttackReport& y = b.attacks[i];
+    EXPECT_EQ(x.action.describe(), y.action.describe()) << "attack " << i;
+    EXPECT_EQ(x.effect, y.effect) << "attack " << i;
+    EXPECT_DOUBLE_EQ(x.baseline_performance, y.baseline_performance);
+    EXPECT_DOUBLE_EQ(x.attacked_performance, y.attacked_performance);
+    EXPECT_DOUBLE_EQ(x.recovery_performance, y.recovery_performance);
+    EXPECT_DOUBLE_EQ(x.damage, y.damage) << "attack " << i;
+    EXPECT_EQ(x.crashed_nodes, y.crashed_nodes) << "attack " << i;
+    EXPECT_EQ(x.injection_time, y.injection_time) << "attack " << i;
+    EXPECT_EQ(x.found_after, y.found_after) << "attack " << i;
+  }
+}
+
+/// Runs `search` with 1 worker and with 4, restoring the knob either way.
+template <typename Fn>
+void check_worker_count_invariance(Fn&& search) {
+  set_default_jobs(1);
+  const SearchResult serial = search();
+  set_default_jobs(4);
+  const SearchResult parallel = search();
+  set_default_jobs(0);
+  EXPECT_FALSE(serial.attacks.empty())
+      << "scenario found no attacks; the determinism check would be vacuous";
+  expect_identical(serial, parallel);
+}
+
+TEST(ParallelSearchDeterminism, BruteForce) {
+  const Scenario sc = pbft_scenario();
+  check_worker_count_invariance([&] { return brute_force_search(sc); });
+}
+
+TEST(ParallelSearchDeterminism, Greedy) {
+  const Scenario sc = pbft_scenario();
+  GreedyOptions opt;
+  opt.confirmations = 2;
+  opt.max_repetitions = 2;
+  check_worker_count_invariance([&] { return greedy_search(sc, opt); });
+}
+
+TEST(ParallelSearchDeterminism, WeightedGreedy) {
+  const Scenario sc = pbft_scenario();
+  check_worker_count_invariance([&] { return weighted_greedy_search(sc); });
+}
+
+TEST(ParallelSearchDeterminism, WeightedGreedyLearnsTheSameWeights) {
+  const Scenario sc = pbft_scenario();
+  set_default_jobs(1);
+  ClusterWeights serial;
+  weighted_greedy_search(sc, {}, &serial);
+  set_default_jobs(4);
+  ClusterWeights parallel;
+  weighted_greedy_search(sc, {}, &parallel);
+  set_default_jobs(0);
+  for (std::size_t c = 0; c < proxy::kNumClusters; ++c) {
+    EXPECT_DOUBLE_EQ(serial.w[c], parallel.w[c]) << "cluster " << c;
+  }
+}
+
+}  // namespace
+}  // namespace turret::search
