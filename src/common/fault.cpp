@@ -1,0 +1,165 @@
+#include "common/fault.h"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "common/hash.h"
+
+namespace turret::fault {
+
+namespace detail {
+std::atomic<bool> g_armed{false};
+}  // namespace detail
+
+namespace {
+
+const std::vector<std::string>& known_sites() {
+  static const std::vector<std::string> sites = {
+      kSnapshotDecode, kSnapshotLoad, kGuestStep,
+      kProxyMutate,    kEmuDispatch,  kBranchExec,
+  };
+  return sites;
+}
+
+[[noreturn]] void bad_spec(std::string_view spec, const std::string& why) {
+  throw std::invalid_argument("bad fault spec '" + std::string(spec) +
+                              "': " + why);
+}
+
+}  // namespace
+
+std::vector<SiteSpec> parse_fault_spec(std::string_view spec) {
+  std::vector<SiteSpec> plan;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string_view::npos) end = spec.size();
+    const std::string_view part = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (part.empty()) continue;
+
+    // <site>:<mode>:<value>
+    const std::size_t c1 = part.find(':');
+    const std::size_t c2 = c1 == std::string_view::npos
+                               ? std::string_view::npos
+                               : part.find(':', c1 + 1);
+    if (c1 == std::string_view::npos || c2 == std::string_view::npos)
+      bad_spec(part, "expected <site>:<mode>:<value>");
+
+    SiteSpec s;
+    s.site = std::string(part.substr(0, c1));
+    bool known = false;
+    for (const std::string& k : known_sites()) known |= (k == s.site);
+    if (!known) bad_spec(part, "unknown site '" + s.site + "'");
+
+    const std::string_view mode = part.substr(c1 + 1, c2 - c1 - 1);
+    const std::string value(part.substr(c2 + 1));
+    if (mode == "prob") {
+      // prob:<p>[:<seed>]
+      s.mode = SiteSpec::Mode::kProb;
+      std::size_t used = 0;
+      try {
+        s.probability = std::stod(value, &used);
+      } catch (const std::exception&) {
+        bad_spec(part, "probability is not a number");
+      }
+      if (s.probability < 0 || s.probability > 1)
+        bad_spec(part, "probability must be in [0, 1]");
+      if (used < value.size()) {
+        if (value[used] != ':') bad_spec(part, "expected ':<seed>'");
+        try {
+          s.seed = std::stoull(value.substr(used + 1));
+        } catch (const std::exception&) {
+          bad_spec(part, "seed is not an integer");
+        }
+      }
+    } else if (mode == "hit") {
+      // hit:<n>[x<span>]
+      s.mode = SiteSpec::Mode::kHit;
+      std::size_t used = 0;
+      try {
+        s.first_hit = std::stoull(value, &used);
+      } catch (const std::exception&) {
+        bad_spec(part, "hit index is not an integer");
+      }
+      if (s.first_hit == 0) bad_spec(part, "hit index is 1-based");
+      if (used < value.size()) {
+        if (value[used] != 'x') bad_spec(part, "expected 'x<span>'");
+        try {
+          s.span = std::stoull(value.substr(used + 1));
+        } catch (const std::exception&) {
+          bad_spec(part, "span is not an integer");
+        }
+        if (s.span == 0) bad_spec(part, "span must be >= 1");
+      }
+    } else {
+      bad_spec(part, "unknown mode '" + std::string(mode) + "'");
+    }
+    plan.push_back(std::move(s));
+  }
+  return plan;
+}
+
+struct FaultInjector::Impl {
+  mutable std::mutex mu;
+  std::vector<SiteSpec> plan;
+  std::map<std::string, std::uint64_t, std::less<>> counters;
+};
+
+FaultInjector::FaultInjector() : impl_(new Impl) {
+  if (const char* env = std::getenv("TURRET_FAULTS");
+      env != nullptr && *env != '\0') {
+    configure(parse_fault_spec(env));
+  }
+}
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector* injector = new FaultInjector;  // leaked: outlives all
+  return *injector;
+}
+
+void FaultInjector::configure(std::vector<SiteSpec> plan) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->plan = std::move(plan);
+  impl_->counters.clear();
+  detail::g_armed.store(!impl_->plan.empty(), std::memory_order_relaxed);
+}
+
+void FaultInjector::configure_from_spec(std::string_view spec) {
+  configure(parse_fault_spec(spec));
+}
+
+bool FaultInjector::armed() const {
+  return detail::g_armed.load(std::memory_order_relaxed);
+}
+
+void FaultInjector::hit(const char* site) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (impl_->plan.empty()) return;  // disarmed between the fast check and here
+  const std::uint64_t n = ++impl_->counters[site];
+  for (const SiteSpec& s : impl_->plan) {
+    if (s.site != site) continue;
+    bool fire = false;
+    if (s.mode == SiteSpec::Mode::kHit) {
+      fire = n >= s.first_hit && n < s.first_hit + s.span;
+    } else {
+      // Pure function of (seed, hit index): replaying the same hit order
+      // replays the same decisions.
+      const std::uint64_t h = mix64(s.seed ^ mix64(n));
+      fire = static_cast<double>(h >> 11) * 0x1.0p-53 < s.probability;
+    }
+    if (fire) {
+      throw FaultError("injected fault at site '" + std::string(site) +
+                       "' (hit " + std::to_string(n) + ")");
+    }
+  }
+}
+
+std::uint64_t FaultInjector::hits(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const auto it = impl_->counters.find(site);
+  return it == impl_->counters.end() ? 0 : it->second;
+}
+
+}  // namespace turret::fault

@@ -1,0 +1,113 @@
+// Deterministic fault injection for the platform's own runtime.
+//
+// Long unattended searches must survive failures in the search machinery —
+// a snapshot that fails to decode, a wedged emulator loop, a crash inside a
+// guest-step dispatch. Validating that containment (retry, quarantine,
+// journaled resume) actually works requires driving those failure paths on
+// demand, which is what this layer does: named injection sites compiled into
+// the snapshot/guest/proxy/emulator code throw FaultError when armed, either
+// with a seeded probability or on exact hit counts, so every failure path is
+// reachable deterministically from tests and from the command line
+// (TURRET_FAULTS / turret-run --faults).
+//
+// The disarmed cost is one relaxed atomic load per site pass; nothing else in
+// the platform changes when no plan is armed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace turret::fault {
+
+/// Thrown by an armed injection site. Deliberately distinct from guest
+/// failures: the testbed's crash-capture boundary rethrows FaultError instead
+/// of absorbing it as a guest crash, so an injected platform fault always
+/// surfaces at the branch containment layer, never as a phantom kCrash attack.
+class FaultError : public std::runtime_error {
+ public:
+  explicit FaultError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Site names. These strings are the vocabulary of TURRET_FAULTS specs; each
+// constant appears at exactly one inject() call in the platform.
+inline constexpr char kSnapshotDecode[] = "snapshot-decode";  ///< Testbed::decode_snapshot
+inline constexpr char kSnapshotLoad[] = "snapshot-load";      ///< Testbed::load_snapshot
+inline constexpr char kGuestStep[] = "guest-step";            ///< Testbed::run_handler
+inline constexpr char kProxyMutate[] = "proxy-mutate";        ///< armed MaliciousProxy transform
+inline constexpr char kEmuDispatch[] = "emu-dispatch";        ///< Emulator::dispatch
+inline constexpr char kBranchExec[] = "branch-exec";          ///< start of each branch attempt
+
+/// One armed site. Probability mode decides each hit from mix64(seed ^ hit
+/// index), so a fixed (seed, hit order) yields a fixed fire pattern; hit mode
+/// fires on hits [first_hit, first_hit + span), 1-based, which lets a test
+/// fail one specific branch attempt (or a branch's entire retry budget).
+struct SiteSpec {
+  std::string site;
+  enum class Mode : std::uint8_t { kProb, kHit } mode = Mode::kProb;
+  double probability = 0;       ///< kProb: chance each hit fires
+  std::uint64_t seed = 1;       ///< kProb: decision stream seed
+  std::uint64_t first_hit = 0;  ///< kHit: first firing hit (1-based)
+  std::uint64_t span = 1;       ///< kHit: consecutive firing hits
+};
+
+/// Parse a fault plan: comma-separated site specs, each
+///   <site>:prob:<p>[:<seed>]     e.g.  snapshot-load:prob:0.1:42
+///   <site>:hit:<n>[x<span>]      e.g.  branch-exec:hit:5x3
+/// Throws std::invalid_argument on malformed input or unknown site names.
+std::vector<SiteSpec> parse_fault_spec(std::string_view spec);
+
+/// Process-wide injector. Sites call inject(); tests and turret-run arm it.
+/// Thread-safe: branch workers pass through sites concurrently, so hit
+/// counting and probability decisions are serialized under a mutex (armed
+/// runs are diagnostic runs; the disarmed fast path stays lock-free).
+class FaultInjector {
+ public:
+  /// The singleton, initialized on first use from TURRET_FAULTS if set.
+  static FaultInjector& instance();
+
+  /// Replace the armed plan and reset every per-site hit counter.
+  void configure(std::vector<SiteSpec> plan);
+  /// configure(parse_fault_spec(spec)); empty disarms.
+  void configure_from_spec(std::string_view spec);
+  void disarm_all() { configure({}); }
+
+  bool armed() const;
+
+  /// Count one pass through `site`; throws FaultError if the plan fires.
+  void hit(const char* site);
+
+  /// Passes through `site` since the last configure(). Counted only while a
+  /// plan is armed (the disarmed fast path does not touch counters).
+  std::uint64_t hits(std::string_view site) const;
+
+ private:
+  FaultInjector();
+  struct Impl;
+  Impl* impl_;  ///< leaked singleton state (no static-destruction races)
+};
+
+namespace detail {
+extern std::atomic<bool> g_armed;
+}
+
+/// The hook compiled into platform code: no-op unless a plan is armed.
+inline void inject(const char* site) {
+  if (detail::g_armed.load(std::memory_order_relaxed))
+    FaultInjector::instance().hit(site);
+}
+
+/// RAII plan for tests: arms a spec for the enclosing scope, disarms on exit.
+class ScopedFaults {
+ public:
+  explicit ScopedFaults(std::string_view spec) {
+    FaultInjector::instance().configure_from_spec(spec);
+  }
+  ~ScopedFaults() { FaultInjector::instance().disarm_all(); }
+  ScopedFaults(const ScopedFaults&) = delete;
+  ScopedFaults& operator=(const ScopedFaults&) = delete;
+};
+
+}  // namespace turret::fault

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "common/fault.h"
 
 namespace turret::netem {
 
@@ -169,6 +170,11 @@ void Emulator::schedule(Duration delay, EventKind kind, NodeId node,
 
 bool Emulator::step() {
   if (frozen_ || queue_.empty()) return false;
+  if (event_budget_ != 0 && ++budget_used_ > event_budget_) {
+    throw BudgetExceededError(
+        "emulator event budget exceeded: " + std::to_string(event_budget_) +
+        " events processed at " + format_time(now_));
+  }
   std::pop_heap(queue_.begin(), queue_.end(), std::greater<>{});
   Event ev = std::move(queue_.back());
   queue_.pop_back();
@@ -191,6 +197,7 @@ Time Emulator::next_event_time() const {
 }
 
 void Emulator::dispatch(const Event& ev) {
+  fault::inject(fault::kEmuDispatch);
   switch (ev.kind) {
     case EventKind::kPacketDeliver:
       deliver_packet(ev.packet);

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "common/rng.h"
@@ -28,6 +29,18 @@
 #include "serial/serial.h"
 
 namespace turret::netem {
+
+/// Thrown by Emulator::step() when an event budget armed via
+/// set_event_budget() is exhausted. A branch that schedules events without
+/// bound (e.g. a zero-delay timer loop) never advances virtual time past its
+/// horizon, so a wall-clock-free runtime can only catch it by capping the
+/// event count; the search layer turns this into a clean branch quarantine
+/// instead of a wedged pool worker.
+class BudgetExceededError : public std::runtime_error {
+ public:
+  explicit BudgetExceededError(const std::string& what)
+      : std::runtime_error(what) {}
+};
 
 /// Receives fully reassembled messages and non-packet events.
 class MessageSink {
@@ -131,6 +144,14 @@ class Emulator {
   Time next_event_time() const;
   std::size_t pending_events() const { return queue_.size(); }
 
+  /// Abort guard: after `n` more processed events, step() throws
+  /// BudgetExceededError. 0 (the default) disarms. Controller-side state:
+  /// not part of snapshots, so a restored branch starts a fresh budget.
+  void set_event_budget(std::uint64_t n) {
+    event_budget_ = n;
+    budget_used_ = 0;
+  }
+
   // --- The operations the paper adds to NS3 -------------------------------
 
   /// Stop the virtual clock. While frozen, step()/run_until() do nothing, but
@@ -172,6 +193,8 @@ class Emulator {
   NetConfig cfg_;
   Time now_ = 0;
   bool frozen_ = false;
+  std::uint64_t event_budget_ = 0;  ///< 0 = unlimited
+  std::uint64_t budget_used_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_msg_id_ = 1;
   std::vector<Event> queue_;  ///< binary min-heap (std::push_heap w/ greater)

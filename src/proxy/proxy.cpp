@@ -1,6 +1,7 @@
 #include "proxy/proxy.h"
 
 #include "common/check.h"
+#include "common/fault.h"
 #include "common/hash.h"
 #include "common/log.h"
 
@@ -111,6 +112,7 @@ std::vector<netem::IngressInterceptor::Delivery> MaliciousProxy::on_send(
   }
 
   if (!action_ || action_->target_tag != tag) return pass();
+  fault::inject(fault::kProxyMutate);
   ++stats_.injected;
 
   switch (action_->kind) {

@@ -1,6 +1,7 @@
 #include "runtime/testbed.h"
 
 #include "common/check.h"
+#include "common/fault.h"
 #include "common/hash.h"
 #include "common/log.h"
 
@@ -80,6 +81,12 @@ void Testbed::guard_guest_call(vm::VirtualMachine& m,
     call();
   } catch (const std::logic_error&) {
     throw;
+  } catch (const fault::FaultError&) {
+    // Injected platform faults must surface at the branch containment layer,
+    // not masquerade as guest crashes (which would classify as attacks).
+    throw;
+  } catch (const netem::BudgetExceededError&) {
+    throw;  // runaway-branch abort, likewise a platform condition
   } catch (const std::exception& e) {
     m.mark_crashed(emu_.now(), e.what());
     metrics_.count("guest_crashes", emu_.now());
@@ -145,6 +152,7 @@ void Testbed::on_event(const netem::Event& ev) {
 }
 
 void Testbed::run_handler(NodeId node) {
+  fault::inject(fault::kGuestStep);
   vm::VirtualMachine& m = *vms_.at(node);
   auto input = m.begin_handler(emu_.now());
   if (!input) return;  // guest crashed while this completion was in flight
@@ -212,6 +220,7 @@ Bytes Testbed::save_snapshot() {
 }
 
 DecodedSnapshot Testbed::decode_snapshot(BytesView snapshot) {
+  fault::inject(fault::kSnapshotDecode);
   serial::Reader r(snapshot);
   DecodedSnapshot d;
   d.started = r.boolean();
@@ -246,6 +255,7 @@ void Testbed::load_snapshot(BytesView snapshot) {
 }
 
 void Testbed::load_snapshot(const DecodedSnapshot& snapshot) {
+  fault::inject(fault::kSnapshotLoad);
   started_ = snapshot.started;
   TURRET_CHECK_MSG(snapshot.vm_sections.size() == vms_.size(),
                    "snapshot VM count does not match testbed config");

@@ -6,11 +6,16 @@
 #include <set>
 
 #include "common/check.h"
+#include "common/fault.h"
 #include "common/log.h"
 #include "common/thread_pool.h"
+#include "netem/emulator.h"
+#include "search/journal.h"
 
 namespace turret::search {
 namespace {
+
+using BranchResult = BranchExecutor::BranchResult;
 
 /// One-window evaluation of an action at an injection point.
 struct Evaluation {
@@ -32,20 +37,59 @@ Evaluation to_evaluation(const Scenario& sc,
   return ev;
 }
 
-/// Batch-evaluate every action for one injection point: one parallel branch
-/// each, outcomes merged in action order.
-std::vector<Evaluation> evaluate_all(
-    BranchExecutor& exec, const BranchExecutor::InjectionPoint& ip,
-    const std::vector<proxy::MaliciousAction>& actions, const WindowPerf& base) {
+/// Batch evaluation of every action at one injection point. A quarantined
+/// branch yields a nullopt evaluation (its FailedBranch record lives in the
+/// executor); the raw results keep per-branch attempt counts for the
+/// weighted-greedy cost replay.
+struct EvalSet {
+  std::vector<BranchResult> results;
+  std::vector<std::optional<Evaluation>> evals;
+};
+
+EvalSet evaluate_all(BranchExecutor& exec,
+                     const BranchExecutor::InjectionPoint& ip,
+                     const std::vector<proxy::MaliciousAction>& actions,
+                     const WindowPerf& base) {
   std::vector<const proxy::MaliciousAction*> ptrs;
   ptrs.reserve(actions.size());
   for (const proxy::MaliciousAction& a : actions) ptrs.push_back(&a);
-  const auto outcomes = exec.run_branches(ip, ptrs, 1);
-  std::vector<Evaluation> evals;
-  evals.reserve(outcomes.size());
-  for (const auto& out : outcomes)
-    evals.push_back(to_evaluation(exec.scenario(), out, base));
-  return evals;
+  EvalSet es;
+  es.results = exec.run_branches(ip, ptrs, 1);
+  es.evals.reserve(es.results.size());
+  for (const BranchResult& r : es.results) {
+    if (r.ok()) {
+      es.evals.push_back(to_evaluation(exec.scenario(), *r.outcome, base));
+    } else {
+      es.evals.push_back(std::nullopt);
+    }
+  }
+  return es;
+}
+
+/// Brute force's containment loop: the same retry/quarantine semantics as
+/// BranchExecutor::attempt_branch, but around a full scenario execution
+/// (brute force never branches, so it has no executor to lean on).
+template <typename Fn>
+BranchResult attempt_full_run(const Scenario& sc, Fn&& fn) {
+  BranchResult r;
+  const int max_attempts = 1 + std::max(0, sc.fault.max_retries);
+  for (int attempt = 1;; ++attempt) {
+    r.attempts = static_cast<std::uint32_t>(attempt);
+    try {
+      fault::inject(fault::kBranchExec);
+      r.outcome = fn();
+      r.error.clear();
+      return r;
+    } catch (const netem::BudgetExceededError& e) {
+      r.error = e.what();
+      return r;  // deterministic runaway: quarantine immediately
+    } catch (const std::exception& e) {
+      r.error = e.what();
+    } catch (...) {
+      r.error = "unknown error";
+    }
+    if (attempt >= max_attempts) return r;
+  }
 }
 
 /// Build the report for a candidate attack from its two-window classification
@@ -80,14 +124,6 @@ AttackReport make_report(const Scenario& sc,
   return rep;
 }
 
-AttackReport classify(BranchExecutor& exec,
-                      const BranchExecutor::InjectionPoint& ip,
-                      const proxy::MaliciousAction& action,
-                      const WindowPerf& base) {
-  return make_report(exec.scenario(), ip, action, base,
-                     exec.run_branch(ip, &action, 2));
-}
-
 std::string action_key(wire::TypeTag tag, const proxy::MaliciousAction& a) {
   return std::to_string(tag) + "|" + a.describe();
 }
@@ -98,7 +134,7 @@ std::string action_key(wire::TypeTag tag, const proxy::MaliciousAction& a) {
 // Brute force (Fig. 2a)
 // ---------------------------------------------------------------------------
 
-SearchResult brute_force_search(const Scenario& sc) {
+SearchResult brute_force_search(const Scenario& sc, Journal* journal) {
   SearchResult res;
   res.algorithm = "brute-force";
   SearchCost& cost = res.cost;
@@ -145,16 +181,24 @@ SearchResult brute_force_search(const Scenario& sc) {
     return out;
   };
 
-  struct FullRun {
-    WindowPerf w0, w1;
-    std::uint32_t crashes = 0;
-  };
+  // Every execution is a contained BranchResult: baseline runs carry one
+  // window, attack runs two windows + a crash count. `cached` slots hold
+  // journal replays; only misses get a future.
   struct TagWork {
     wire::TypeTag tag = 0;
+    std::string name;
     Time t0 = 0;
     std::vector<proxy::MaliciousAction> actions;
-    std::future<WindowPerf> base;
-    std::vector<std::future<FullRun>> runs;
+    std::optional<BranchResult> base_cached;
+    std::future<BranchResult> base;
+    std::vector<std::optional<BranchResult>> run_cached;
+    std::vector<std::future<BranchResult>> runs;
+  };
+  const auto base_key = [](const TagWork& tw) {
+    return "bf|" + std::to_string(tw.tag) + "|base";
+  };
+  const auto run_key = [](const TagWork& tw, std::size_t i) {
+    return "bf|" + std::to_string(tw.tag) + "|" + tw.actions[i].describe();
   };
 
   // Enumerate every execution first (futures reference the stored actions).
@@ -164,6 +208,7 @@ SearchResult brute_force_search(const Scenario& sc) {
     if (spec == nullptr) continue;
     TagWork tw;
     tw.tag = tag;
+    tw.name = spec->name;
     tw.t0 = first_send.at(tag);
     tw.actions = proxy::enumerate_actions(*spec, sc.actions);
     work.push_back(std::move(tw));
@@ -174,74 +219,144 @@ SearchResult brute_force_search(const Scenario& sc) {
     const Time t0 = tw.t0;
     const Time t_end = t0 + 2 * sc.window;
     // Per-type baseline window from a dedicated benign run (brute force can
-    // not branch, so it pays a full execution even for the baseline).
-    tw.base = pool.submit([&sc, &window_perf, t0] {
-      ScenarioWorld w = make_scenario_world(sc);
-      w.testbed->start();
-      w.testbed->run_until(t0 + sc.window);
-      return window_perf(*w.testbed, t0, t0 + sc.window);
-    });
-    tw.runs.reserve(tw.actions.size());
-    for (const proxy::MaliciousAction& action : tw.actions) {
+    // not branch, so it pays a full execution even for the baseline). A
+    // journaled result replays from disk instead of executing.
+    if (journal != nullptr) {
+      if (std::optional<Bytes> rec = journal->replay(base_key(tw)))
+        tw.base_cached = decode_branch_result(*rec);
+    }
+    if (!tw.base_cached) {
+      tw.base = pool.submit([&sc, &window_perf, t0] {
+        return attempt_full_run(sc, [&] {
+          ScenarioWorld w = make_scenario_world(sc);
+          w.testbed->emulator().set_event_budget(sc.fault.max_branch_events);
+          w.testbed->start();
+          w.testbed->run_until(t0 + sc.window);
+          BranchExecutor::BranchOutcome out;
+          out.windows = {window_perf(*w.testbed, t0, t0 + sc.window)};
+          return out;
+        });
+      });
+    }
+    tw.run_cached.resize(tw.actions.size());
+    tw.runs.resize(tw.actions.size());
+    for (std::size_t i = 0; i < tw.actions.size(); ++i) {
+      if (journal != nullptr) {
+        if (std::optional<Bytes> rec = journal->replay(run_key(tw, i))) {
+          tw.run_cached[i] = decode_branch_result(*rec);
+          continue;
+        }
+      }
       // A full execution per scenario, attack armed from the start; the
       // injection point is still the first send of the type, which the armed
       // action is what transforms.
-      tw.runs.push_back(pool.submit([&sc, &window_perf, &action, t0, t_end] {
-        ScenarioWorld w = make_scenario_world(sc);
-        w.proxy->arm(action);
-        w.testbed->start();
-        w.testbed->run_until(t_end);
-        FullRun run;
-        run.w0 = window_perf(*w.testbed, t0, t0 + sc.window);
-        run.w1 = window_perf(*w.testbed, t0 + sc.window, t_end);
-        run.crashes =
-            static_cast<std::uint32_t>(w.testbed->crashed_nodes().size());
-        return run;
-      }));
+      const proxy::MaliciousAction& action = tw.actions[i];
+      tw.runs[i] = pool.submit([&sc, &window_perf, &action, t0, t_end] {
+        return attempt_full_run(sc, [&] {
+          ScenarioWorld w = make_scenario_world(sc);
+          w.testbed->emulator().set_event_budget(sc.fault.max_branch_events);
+          w.proxy->arm(action);
+          w.testbed->start();
+          w.testbed->run_until(t_end);
+          BranchExecutor::BranchOutcome out;
+          out.windows = {window_perf(*w.testbed, t0, t0 + sc.window),
+                         window_perf(*w.testbed, t0 + sc.window, t_end)};
+          out.new_crashes =
+              static_cast<std::uint32_t>(w.testbed->crashed_nodes().size());
+          return out;
+        });
+      });
     }
   }
 
-  // Deterministic merge in original (tag, action) order. Drain every future
-  // before letting an exception escape — tasks reference this frame.
-  std::exception_ptr first_error;
+  // Deterministic merge in original (tag, action) order. Every future is
+  // drained before any error escapes — tasks reference this frame — and
+  // harness-level errors (containment catches everything a run can throw)
+  // are aggregated rather than dropped after the first.
+  std::vector<std::string> harness_errors;
+  const auto settle = [&harness_errors](std::optional<BranchResult>& cached,
+                                        std::future<BranchResult>& fut) {
+    if (cached) return *std::move(cached);
+    try {
+      return fut.get();
+    } catch (const std::exception& e) {
+      harness_errors.push_back(e.what());
+    } catch (...) {
+      harness_errors.push_back("unknown error");
+    }
+    BranchResult r;
+    r.error = "harness error";
+    return r;
+  };
+
   for (TagWork& tw : work) {
     const Time t0 = tw.t0;
     const Time t_end = t0 + 2 * sc.window;
-    WindowPerf base;
-    try {
-      base = tw.base.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
+    BranchResult base_r = settle(tw.base_cached, tw.base);
+    if (journal != nullptr && !tw.base_cached) {
+      journal->append(base_key(tw), encode_branch_result(base_r));
     }
-    cost.execution += t0 + sc.window;
-    ++cost.branches;
+    // Each attempt re-runs the full execution up to the measured window.
+    cost.execution += static_cast<Duration>(base_r.attempts) * (t0 + sc.window);
+    cost.branches += base_r.attempts;
+    cost.retries += base_r.attempts - 1;
+    if (!base_r.ok()) {
+      // Without the per-type baseline nothing at this tag can be evaluated:
+      // quarantine the baseline, then drain (and charge) its attack runs.
+      FailedBranch f;
+      f.had_action = false;
+      f.tag = tw.tag;
+      f.message_name = tw.name;
+      f.injection_time = t0;
+      f.attempts = base_r.attempts;
+      f.error = base_r.error;
+      res.failed.push_back(std::move(f));
+    }
 
     for (std::size_t i = 0; i < tw.runs.size(); ++i) {
-      FullRun run;
-      try {
-        run = tw.runs[i].get();
-      } catch (...) {
-        if (!first_error) first_error = std::current_exception();
+      BranchResult run_r = settle(tw.run_cached[i], tw.runs[i]);
+      if (journal != nullptr && !tw.run_cached[i]) {
+        journal->append(run_key(tw, i), encode_branch_result(run_r));
+      }
+      // Charged whether or not the run produced an outcome: a throwing
+      // branch still executed (satellite fix — the old path skipped both
+      // charges, so faulted searches under-reported found_after).
+      cost.execution += static_cast<Duration>(run_r.attempts) * t_end;
+      cost.branches += run_r.attempts;
+      cost.retries += run_r.attempts - 1;
+      if (!run_r.ok()) {
+        FailedBranch f;
+        f.action = tw.actions[i];
+        f.had_action = true;
+        f.tag = tw.tag;
+        f.message_name = tw.name;
+        f.injection_time = t0;
+        f.attempts = run_r.attempts;
+        f.error = run_r.error;
+        res.failed.push_back(std::move(f));
         continue;
       }
-      cost.execution += t_end;
-      ++cost.branches;
-      const double damage = compute_damage(sc.metric, base, run.w0);
-      if (run.crashes == 0 && damage <= sc.delta) continue;
+      if (!base_r.ok()) continue;  // outcome fine, but nothing to compare to
+
+      const WindowPerf& base = base_r.outcome->windows[0];
+      const WindowPerf& w0 = run_r.outcome->windows[0];
+      const WindowPerf& w1 = run_r.outcome->windows[1];
+      const std::uint32_t crashes = run_r.outcome->new_crashes;
+      const double damage = compute_damage(sc.metric, base, w0);
+      if (crashes == 0 && damage <= sc.delta) continue;
 
       AttackReport rep;
       rep.action = tw.actions[i];
       rep.baseline_performance = base.value;
-      rep.attacked_performance = run.w0.value;
-      rep.recovery_performance = run.w1.value;
+      rep.attacked_performance = w0.value;
+      rep.recovery_performance = w1.value;
       rep.damage = damage;
-      rep.crashed_nodes = run.crashes;
+      rep.crashed_nodes = crashes;
       rep.injection_time = t0;
-      const double damage2 = compute_damage(sc.metric, base, run.w1);
-      if (run.crashes > 0) {
+      const double damage2 = compute_damage(sc.metric, base, w1);
+      if (crashes > 0) {
         rep.effect = AttackEffect::kCrash;
-      } else if (run.w0.samples == 0 && run.w1.samples == 0 &&
-                 base.samples > 0) {
+      } else if (w0.samples == 0 && w1.samples == 0 && base.samples > 0) {
         rep.effect = AttackEffect::kHalt;
       } else if (damage2 > sc.delta) {
         rep.effect = AttackEffect::kDegradation;
@@ -252,7 +367,7 @@ SearchResult brute_force_search(const Scenario& sc) {
       res.attacks.push_back(std::move(rep));
     }
   }
-  if (first_error) std::rethrow_exception(first_error);
+  if (!harness_errors.empty()) throw AggregateBranchError(harness_errors);
   res.baseline_performance = benign.value;
   return res;
 }
@@ -261,8 +376,10 @@ SearchResult brute_force_search(const Scenario& sc) {
 // Greedy (Fig. 2b)
 // ---------------------------------------------------------------------------
 
-SearchResult greedy_search(const Scenario& sc, const GreedyOptions& opt) {
+SearchResult greedy_search(const Scenario& sc, const GreedyOptions& opt,
+                           Journal* journal) {
   BranchExecutor exec(sc);
+  exec.set_journal(journal);
   const auto& points = exec.discover();
 
   SearchResult res;
@@ -293,19 +410,24 @@ SearchResult greedy_search(const Scenario& sc, const GreedyOptions& opt) {
       WindowPerf winner_base;
       BranchExecutor::InjectionPoint winner_ip = ip0;
       for (int round = 0; round < opt.confirmations; ++round) {
-        const WindowPerf base = exec.baseline(ip);
+        const std::optional<WindowPerf> base = exec.try_baseline(ip);
+        if (!base) {
+          streak = 0;
+          break;  // baseline quarantined: this injection point is unusable
+        }
         // One batch per round: greedy needs *every* action's damage at this
         // injection point before it can select, so the whole action set fans
         // out in parallel and the winner is picked from the merged results
-        // (first index wins ties, matching the serial scan).
-        const std::vector<Evaluation> evals =
-            evaluate_all(exec, ip, actions, base);
+        // (first index wins ties, matching the serial scan). Quarantined
+        // branches sit the round out.
+        const EvalSet es = evaluate_all(exec, ip, actions, *base);
         std::optional<std::size_t> best;
         double best_rank = 0;
-        for (std::size_t i = 0; i < evals.size(); ++i) {
-          if (!best || evals[i].rank() > best_rank) {
+        for (std::size_t i = 0; i < es.evals.size(); ++i) {
+          if (!es.evals[i]) continue;
+          if (!best || es.evals[i]->rank() > best_rank) {
             best = i;
-            best_rank = evals[i].rank();
+            best_rank = es.evals[i]->rank();
           }
         }
         if (!best || best_rank <= sc.delta) {
@@ -318,23 +440,40 @@ SearchResult greedy_search(const Scenario& sc, const GreedyOptions& opt) {
           winner = best;
           streak = 1;
         }
-        winner_base = base;
+        winner_base = *base;
         winner_ip = ip;
-        if (round + 1 < opt.confirmations)
-          ip = exec.continue_branch(ip, nullptr, sc.window);
+        if (round + 1 < opt.confirmations) {
+          const std::optional<BranchExecutor::InjectionPoint> next =
+              exec.try_continue_branch(ip, nullptr, sc.window);
+          if (!next) {
+            streak = 0;
+            break;  // could not advance the benign branch: give up the point
+          }
+          ip = *next;
+        }
       }
 
       if (winner && streak >= opt.confirmations) {
-        AttackReport rep = classify(exec, winner_ip, actions[*winner], winner_base);
-        rep.found_after = exec.cost().total();
+        // Two-window classification branch for the confirmed winner. If the
+        // classification itself quarantines, the failure is already recorded;
+        // marking the action reported keeps the scan from retrying it on
+        // every later repetition.
+        const BranchResult cls =
+            exec.try_run_branch(winner_ip, &actions[*winner], 2);
         reported.insert(action_key(ip0.tag, actions[*winner]));
-        TLOG_INFO("greedy: %s", rep.describe().c_str());
-        res.attacks.push_back(std::move(rep));
-        found_new = true;
+        if (cls.ok()) {
+          AttackReport rep = make_report(sc, winner_ip, actions[*winner],
+                                         winner_base, *cls.outcome);
+          rep.found_after = exec.cost().total();
+          TLOG_INFO("greedy: %s", rep.describe().c_str());
+          res.attacks.push_back(std::move(rep));
+          found_new = true;
+        }
       }
     }
   }
   res.cost = exec.cost();
+  res.failed = exec.failed();
   return res;
 }
 
@@ -344,8 +483,9 @@ SearchResult greedy_search(const Scenario& sc, const GreedyOptions& opt) {
 
 SearchResult weighted_greedy_search(const Scenario& sc,
                                     const WeightedOptions& opt,
-                                    ClusterWeights* learned) {
+                                    ClusterWeights* learned, Journal* journal) {
   BranchExecutor exec(sc);
+  exec.set_journal(journal);
   const auto& points = exec.discover();
 
   SearchResult res;
@@ -359,7 +499,9 @@ SearchResult weighted_greedy_search(const Scenario& sc,
     if (spec == nullptr) continue;
     const std::vector<proxy::MaliciousAction> actions =
         proxy::enumerate_actions(*spec, sc.actions);
-    const WindowPerf base = exec.baseline(ip);
+    const std::optional<WindowPerf> base_opt = exec.try_baseline(ip);
+    if (!base_opt) continue;  // baseline quarantined: skip the whole type
+    const WindowPerf base = *base_opt;
 
     // The serial scan tries actions one at a time in descending cluster-
     // weight order. The *set* of branches it executes is order-independent:
@@ -369,24 +511,26 @@ SearchResult weighted_greedy_search(const Scenario& sc,
     // report order, weight bumps and found_after are byte-identical to the
     // serial algorithm.
     const Duration cost_before = exec.cost().total();
-    const std::vector<Evaluation> evals = evaluate_all(exec, ip, actions, base);
+    const EvalSet es = evaluate_all(exec, ip, actions, base);
 
     std::vector<const proxy::MaliciousAction*> qualifying;
     std::vector<std::size_t> qualifying_index(actions.size(), SIZE_MAX);
     for (std::size_t i = 0; i < actions.size(); ++i) {
-      if (evals[i].rank() > sc.delta) {
+      if (es.evals[i] && es.evals[i]->rank() > sc.delta) {
         qualifying_index[i] = qualifying.size();
         qualifying.push_back(&actions[i]);
       }
     }
-    const std::vector<BranchExecutor::BranchOutcome> classified =
+    const std::vector<BranchResult> classified =
         exec.run_branches(ip, qualifying, 2);
 
     // Replay: pick the not-yet-tried action from the highest-weight cluster
     // (stable: enumeration order breaks ties), so learned weights steer both
     // this message type's scan and every later one. `running` reconstructs
-    // the serial cost clock: each pick pays its evaluation branch and, if it
-    // qualifies, its classification branch.
+    // the serial cost clock — each pick pays every attempt of its evaluation
+    // branch and, if it qualifies, of its classification branch, so
+    // found_after is identical whether branches ran live or replayed from a
+    // journal.
     const Duration eval_cost = sc.window + sc.branch_cost.load_cost;
     const Duration classify_cost = 2 * sc.window + sc.branch_cost.load_cost;
     Duration running = cost_before;
@@ -402,17 +546,21 @@ SearchResult weighted_greedy_search(const Scenario& sc,
       const std::size_t idx = alive[pick];
       alive.erase(alive.begin() + static_cast<std::ptrdiff_t>(pick));
 
-      running += eval_cost;
-      if (evals[idx].rank() <= sc.delta) continue;
+      running += static_cast<Duration>(es.results[idx].attempts) * eval_cost;
+      if (!es.evals[idx]) continue;  // evaluation quarantined
+      if (es.evals[idx]->rank() <= sc.delta) continue;
 
       // The moment an action qualifies as an attack, report it and raise its
       // cluster's weight. (The paper stops the scan here and lets the user
       // repeat the search; in a deterministic platform re-running with the
       // found attacks excluded is identical to continuing the scan, so we
       // continue — found_after still records when each attack surfaced.)
-      running += classify_cost;
-      AttackReport rep = make_report(sc, ip, actions[idx], base,
-                                     classified[qualifying_index[idx]]);
+      const std::size_t qi = qualifying_index[idx];
+      running +=
+          static_cast<Duration>(classified[qi].attempts) * classify_cost;
+      if (!classified[qi].ok()) continue;  // classification quarantined
+      AttackReport rep =
+          make_report(sc, ip, actions[idx], base, *classified[qi].outcome);
       rep.found_after = running;
       weights[actions[idx].cluster()] += opt.bump;
       TLOG_INFO("weighted-greedy: %s", rep.describe().c_str());
@@ -421,6 +569,7 @@ SearchResult weighted_greedy_search(const Scenario& sc,
   }
 
   res.cost = exec.cost();
+  res.failed = exec.failed();
   if (learned != nullptr) *learned = weights;
   return res;
 }

@@ -58,13 +58,21 @@ struct WeightedOptions {
   double bump = 1.0;
 };
 
-SearchResult brute_force_search(const Scenario& sc);
-SearchResult greedy_search(const Scenario& sc, const GreedyOptions& opt = {});
+class Journal;
+
+/// All three searches accept an optional write-ahead journal: completed
+/// branch outcomes are appended as they merge, and a journal opened with
+/// resume=true replays them instead of re-executing, reproducing the
+/// uninterrupted SearchResult exactly (costs included).
+SearchResult brute_force_search(const Scenario& sc, Journal* journal = nullptr);
+SearchResult greedy_search(const Scenario& sc, const GreedyOptions& opt = {},
+                           Journal* journal = nullptr);
 
 /// `learned`, when non-null, receives the final weights (for preloading the
 /// next search).
 SearchResult weighted_greedy_search(const Scenario& sc,
                                     const WeightedOptions& opt = {},
-                                    ClusterWeights* learned = nullptr);
+                                    ClusterWeights* learned = nullptr,
+                                    Journal* journal = nullptr);
 
 }  // namespace turret::search

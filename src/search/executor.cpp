@@ -4,9 +4,62 @@
 #include <set>
 
 #include "common/check.h"
+#include "common/fault.h"
 #include "common/log.h"
+#include "search/journal.h"
 
 namespace turret::search {
+
+AggregateBranchError::AggregateBranchError(
+    const std::vector<std::string>& errors)
+    : std::runtime_error([&errors] {
+        std::string what =
+            std::to_string(errors.size()) + " branch error(s):";
+        constexpr std::size_t kMaxListed = 8;
+        for (std::size_t i = 0; i < errors.size() && i < kMaxListed; ++i) {
+          what += "\n  ";
+          what += errors[i];
+        }
+        if (errors.size() > kMaxListed) what += "\n  ...";
+        return what;
+      }()),
+      count_(errors.size()) {}
+
+Bytes encode_branch_result(const BranchExecutor::BranchResult& r) {
+  serial::Writer w;
+  w.boolean(r.ok());
+  w.u32(r.attempts);
+  w.str(r.error);
+  if (r.ok()) {
+    w.vec(r.outcome->windows, [](serial::Writer& ww, const WindowPerf& p) {
+      ww.f64(p.value);
+      ww.u64(p.samples);
+    });
+    w.u32(r.outcome->new_crashes);
+  }
+  return w.take();
+}
+
+BranchExecutor::BranchResult decode_branch_result(BytesView payload) {
+  serial::Reader r(payload);
+  BranchExecutor::BranchResult out;
+  const bool ok = r.boolean();
+  out.attempts = r.u32();
+  out.error = r.str();
+  if (ok) {
+    BranchExecutor::BranchOutcome o;
+    o.windows = r.vec<WindowPerf>([](serial::Reader& rr) {
+      WindowPerf p;
+      p.value = rr.f64();
+      p.samples = rr.u64();
+      return p;
+    });
+    o.new_crashes = r.u32();
+    out.outcome = std::move(o);
+  }
+  TURRET_CHECK_MSG(r.exhausted(), "trailing bytes in journal record");
+  return out;
+}
 
 double compute_damage(const MetricSpec& metric, const WindowPerf& base,
                       const WindowPerf& perf) {
@@ -137,10 +190,28 @@ ThreadPool& BranchExecutor::pool() {
   return *pool_;
 }
 
+const runtime::DecodedSnapshot* BranchExecutor::try_decoded(
+    const InjectionPoint& ip, BranchResult* failure) {
+  const int max_attempts = 1 + std::max(0, sc_.fault.max_retries);
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return &decoded(ip);
+    } catch (const std::exception& e) {
+      failure->attempts = static_cast<std::uint32_t>(attempt);
+      failure->error = e.what();
+    } catch (...) {
+      failure->attempts = static_cast<std::uint32_t>(attempt);
+      failure->error = "unknown error";
+    }
+    if (attempt >= max_attempts) return nullptr;
+  }
+}
+
 BranchExecutor::BranchOutcome BranchExecutor::execute_branch(
     const runtime::DecodedSnapshot& snap, const InjectionPoint& ip,
     const proxy::MaliciousAction* action, int windows) const {
   ScenarioWorld w = make_scenario_world(sc_);
+  w.testbed->emulator().set_event_budget(sc_.fault.max_branch_events);
   w.testbed->load_snapshot(snap);
   if (action != nullptr) w.proxy->arm(*action);
 
@@ -159,61 +230,156 @@ BranchExecutor::BranchOutcome BranchExecutor::execute_branch(
   return out;
 }
 
-BranchExecutor::BranchOutcome BranchExecutor::run_branch(
-    const InjectionPoint& ip, const proxy::MaliciousAction* action,
-    int windows) {
-  TURRET_CHECK(windows >= 1);
-  BranchOutcome out = execute_branch(decoded(ip), ip, action, windows);
-  ++cost_.branches;
-  ++cost_.loads;
-  cost_.snapshots += sc_.branch_cost.load_cost;
-  cost_.execution += windows * sc_.window;
-  return out;
+BranchExecutor::BranchResult BranchExecutor::attempt_branch(
+    const runtime::DecodedSnapshot& snap, const InjectionPoint& ip,
+    const proxy::MaliciousAction* action, int windows) const {
+  BranchResult r;
+  const int max_attempts = 1 + std::max(0, sc_.fault.max_retries);
+  for (int attempt = 1;; ++attempt) {
+    r.attempts = static_cast<std::uint32_t>(attempt);
+    try {
+      fault::inject(fault::kBranchExec);
+      r.outcome = execute_branch(snap, ip, action, windows);
+      r.error.clear();
+      return r;
+    } catch (const netem::BudgetExceededError& e) {
+      // A runaway branch is deterministic: retrying replays the runaway.
+      // Quarantine on the first hit and give the worker back to the pool.
+      r.error = e.what();
+      return r;
+    } catch (const std::exception& e) {
+      r.error = e.what();
+    } catch (...) {
+      r.error = "unknown error";
+    }
+    if (attempt >= max_attempts) return r;
+  }
 }
 
-std::vector<BranchExecutor::BranchOutcome> BranchExecutor::run_branches(
+void BranchExecutor::charge_attempts(std::uint32_t attempts, int windows) {
+  cost_.branches += attempts;
+  cost_.loads += attempts;
+  cost_.retries += attempts - 1;
+  cost_.snapshots += static_cast<Duration>(attempts) * sc_.branch_cost.load_cost;
+  cost_.execution += static_cast<Duration>(attempts) * windows * sc_.window;
+}
+
+void BranchExecutor::record_failure(const InjectionPoint& ip,
+                                    const proxy::MaliciousAction* action,
+                                    const BranchResult& r) {
+  FailedBranch f;
+  f.had_action = action != nullptr;
+  if (action != nullptr) f.action = *action;
+  f.tag = ip.tag;
+  f.message_name = ip.message_name;
+  f.injection_time = ip.time;
+  f.attempts = r.attempts;
+  f.error = r.error;
+  TLOG_INFO("quarantined: %s", f.describe().c_str());
+  failed_.push_back(std::move(f));
+}
+
+std::string BranchExecutor::journal_key(const InjectionPoint& ip,
+                                        const proxy::MaliciousAction* action,
+                                        int windows) {
+  return "b|" + std::to_string(ip.tag) + "|" + std::to_string(ip.time) + "|" +
+         std::to_string(windows) + "|" +
+         (action != nullptr ? action->describe() : "-");
+}
+
+std::vector<BranchExecutor::BranchResult> BranchExecutor::run_branches(
     const InjectionPoint& ip,
     const std::vector<const proxy::MaliciousAction*>& actions, int windows) {
   TURRET_CHECK(windows >= 1);
-  const runtime::DecodedSnapshot& snap = decoded(ip);
-  std::vector<BranchOutcome> out(actions.size());
+  std::vector<BranchResult> out(actions.size());
 
-  if (actions.size() <= 1 || default_jobs() <= 1) {
-    for (std::size_t i = 0; i < actions.size(); ++i) {
-      out[i] = execute_branch(snap, ip, actions[i], windows);
-    }
-  } else {
-    ThreadPool& workers = pool();
-    std::vector<std::future<BranchOutcome>> futures;
-    futures.reserve(actions.size());
-    for (std::size_t i = 0; i < actions.size(); ++i) {
-      const proxy::MaliciousAction* action = actions[i];
-      futures.push_back(workers.submit([this, &snap, &ip, action, windows] {
-        return execute_branch(snap, ip, action, windows);
-      }));
-    }
-    // Merge in input order. Every future is drained before any exception
-    // propagates: the tasks reference run_branches locals, so no branch may
-    // outlive this frame.
-    std::exception_ptr first_error;
-    for (std::size_t i = 0; i < futures.size(); ++i) {
-      try {
-        out[i] = futures[i].get();
-      } catch (...) {
-        if (!first_error) first_error = std::current_exception();
+  // Resume: consume journaled results first (in input order, which matches
+  // the order the interrupted run appended them). Only the misses execute.
+  std::vector<bool> replayed(actions.size(), false);
+  std::vector<std::size_t> live;
+  live.reserve(actions.size());
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    if (journal_ != nullptr) {
+      if (auto rec = journal_->replay(journal_key(ip, actions[i], windows))) {
+        out[i] = decode_branch_result(*rec);
+        replayed[i] = true;
+        continue;
       }
     }
-    if (first_error) std::rethrow_exception(first_error);
+    live.push_back(i);
   }
 
-  // Per-branch charges are identical to run_branch's, and integer sums are
-  // order-independent, so serial and parallel runs account the same cost.
-  const auto n = static_cast<std::uint64_t>(actions.size());
-  cost_.branches += n;
-  cost_.loads += n;
-  cost_.snapshots += static_cast<Duration>(n) * sc_.branch_cost.load_cost;
-  cost_.execution += static_cast<Duration>(n) * windows * sc_.window;
+  if (!live.empty()) {
+    BranchResult decode_failure;
+    const runtime::DecodedSnapshot* snap = try_decoded(ip, &decode_failure);
+    if (snap == nullptr) {
+      // The injection point's snapshot is unusable: every pending branch
+      // inherits the decode failure as its quarantine record.
+      for (const std::size_t i : live) out[i] = decode_failure;
+    } else if (live.size() <= 1 || default_jobs() <= 1) {
+      for (const std::size_t i : live) {
+        out[i] = attempt_branch(*snap, ip, actions[i], windows);
+      }
+    } else {
+      ThreadPool& workers = pool();
+      std::vector<std::future<BranchResult>> futures;
+      futures.reserve(live.size());
+      for (const std::size_t i : live) {
+        const proxy::MaliciousAction* action = actions[i];
+        futures.push_back(workers.submit([this, snap, &ip, action, windows] {
+          return attempt_branch(*snap, ip, action, windows);
+        }));
+      }
+      // Merge in input order. attempt_branch contains everything a branch
+      // can throw, so the futures only fail on harness-level errors — drain
+      // every one (the tasks reference run_branches locals) and aggregate
+      // instead of dropping all errors after the first.
+      std::vector<std::string> errors;
+      for (std::size_t k = 0; k < futures.size(); ++k) {
+        try {
+          out[live[k]] = futures[k].get();
+        } catch (const std::exception& e) {
+          errors.push_back(e.what());
+        } catch (...) {
+          errors.push_back("unknown error");
+        }
+      }
+      if (!errors.empty()) throw AggregateBranchError(errors);
+    }
+  }
+
+  // Deterministic bookkeeping in input order: per-branch charges are
+  // run_branch's multiplied over attempts (replayed entries charge the
+  // attempts they recorded), quarantines are recorded, and fresh results are
+  // journaled. Integer sums are order-independent, so serial and parallel
+  // runs account the same cost.
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    charge_attempts(out[i].attempts, windows);
+    if (!out[i].ok()) record_failure(ip, actions[i], out[i]);
+    if (journal_ != nullptr && !replayed[i]) {
+      journal_->append(journal_key(ip, actions[i], windows),
+                       encode_branch_result(out[i]));
+    }
+  }
   return out;
+}
+
+BranchExecutor::BranchResult BranchExecutor::try_run_branch(
+    const InjectionPoint& ip, const proxy::MaliciousAction* action,
+    int windows) {
+  return run_branches(ip, {action}, windows)[0];
+}
+
+BranchExecutor::BranchOutcome BranchExecutor::run_branch(
+    const InjectionPoint& ip, const proxy::MaliciousAction* action,
+    int windows) {
+  BranchResult r = try_run_branch(ip, action, windows);
+  if (!r.ok()) {
+    throw std::runtime_error("branch quarantined after " +
+                             std::to_string(r.attempts) +
+                             " attempt(s): " + r.error);
+  }
+  return *std::move(r.outcome);
 }
 
 WindowPerf BranchExecutor::baseline(const InjectionPoint& ip) {
@@ -224,29 +390,86 @@ WindowPerf BranchExecutor::baseline(const InjectionPoint& ip) {
   return out.windows[0];
 }
 
-BranchExecutor::InjectionPoint BranchExecutor::continue_branch(
-    const InjectionPoint& ip, const proxy::MaliciousAction* action,
-    Duration dur) {
-  ScenarioWorld w = make_scenario_world(sc_);
-  w.testbed->load_snapshot(decoded(ip));
-  if (action != nullptr) w.proxy->arm(*action);
-  w.testbed->run_until(ip.time + dur);
-  w.proxy->disarm();
+std::optional<WindowPerf> BranchExecutor::try_baseline(
+    const InjectionPoint& ip) {
+  auto it = baseline_cache_.find(ip.tag);
+  if (it != baseline_cache_.end()) return it->second;
+  BranchResult r = try_run_branch(ip, nullptr, 1);
+  if (!r.ok()) return std::nullopt;  // quarantine recorded by run_branches
+  baseline_cache_[ip.tag] = r.outcome->windows[0];
+  return r.outcome->windows[0];
+}
 
-  InjectionPoint next;
-  next.tag = ip.tag;
-  next.message_name = ip.message_name;
-  next.time = w.testbed->now();
-  next.snapshot = std::make_shared<const Bytes>(w.testbed->save_snapshot());
+std::optional<BranchExecutor::InjectionPoint>
+BranchExecutor::try_continue_branch(const InjectionPoint& ip,
+                                    const proxy::MaliciousAction* action,
+                                    Duration dur) {
+  BranchResult failure;
+  const runtime::DecodedSnapshot* snap = try_decoded(ip, &failure);
+  const int max_attempts = 1 + std::max(0, sc_.fault.max_retries);
+  std::optional<InjectionPoint> next;
+  std::uint32_t attempts = failure.attempts;
 
-  ++cost_.loads;
-  ++cost_.saves;
-  cost_.snapshots += sc_.branch_cost.load_cost + sc_.branch_cost.save_cost;
-  cost_.execution += dur;
+  if (snap != nullptr) {
+    for (int attempt = 1;; ++attempt) {
+      attempts = static_cast<std::uint32_t>(attempt);
+      try {
+        ScenarioWorld w = make_scenario_world(sc_);
+        w.testbed->emulator().set_event_budget(sc_.fault.max_branch_events);
+        w.testbed->load_snapshot(*snap);
+        if (action != nullptr) w.proxy->arm(*action);
+        w.testbed->run_until(ip.time + dur);
+        w.proxy->disarm();
+
+        InjectionPoint n;
+        n.tag = ip.tag;
+        n.message_name = ip.message_name;
+        n.time = w.testbed->now();
+        n.snapshot = std::make_shared<const Bytes>(w.testbed->save_snapshot());
+        next = std::move(n);
+        break;
+      } catch (const netem::BudgetExceededError& e) {
+        failure.error = e.what();
+        break;  // deterministic runaway: no point retrying
+      } catch (const std::exception& e) {
+        failure.error = e.what();
+      } catch (...) {
+        failure.error = "unknown error";
+      }
+      if (attempt >= max_attempts) break;
+    }
+  }
+
+  // Charged per attempt, mirroring the serial charges of a successful
+  // continuation so resume replays (which re-execute continuations live)
+  // account identically.
+  cost_.loads += attempts;
+  cost_.saves += attempts;
+  cost_.retries += attempts - 1;
+  cost_.snapshots += static_cast<Duration>(attempts) *
+                     (sc_.branch_cost.load_cost + sc_.branch_cost.save_cost);
+  cost_.execution += static_cast<Duration>(attempts) * dur;
+
+  if (!next) {
+    failure.attempts = attempts;
+    record_failure(ip, action, failure);
+    return std::nullopt;
+  }
   // A continuation invalidates the cached baseline only for branches from the
   // *new* point; the cache is keyed by tag, so refresh lazily.
   baseline_cache_.erase(ip.tag);
   return next;
+}
+
+BranchExecutor::InjectionPoint BranchExecutor::continue_branch(
+    const InjectionPoint& ip, const proxy::MaliciousAction* action,
+    Duration dur) {
+  std::optional<InjectionPoint> next = try_continue_branch(ip, action, dur);
+  if (!next) {
+    throw std::runtime_error("continuation quarantined: " +
+                             failed_.back().error);
+  }
+  return *std::move(next);
 }
 
 }  // namespace turret::search

@@ -10,6 +10,8 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -18,6 +20,21 @@
 #include "search/scenario.h"
 
 namespace turret::search {
+
+class Journal;
+
+/// Raised when branch futures fail outside the containment layer (which
+/// catches everything a branch attempt can throw, so in practice: broken
+/// promises, allocation failure in the error path). Aggregates every error
+/// in the batch instead of dropping all but the first.
+class AggregateBranchError : public std::runtime_error {
+ public:
+  explicit AggregateBranchError(const std::vector<std::string>& errors);
+  std::size_t count() const { return count_; }
+
+ private:
+  std::size_t count_;
+};
 
 /// State of one metric window in a branch.
 struct WindowPerf {
@@ -54,7 +71,23 @@ class BranchExecutor {
     std::uint32_t new_crashes = 0;  ///< benign guests crashed inside the branch
   };
 
+  /// One contained branch execution: the outcome when any attempt succeeded,
+  /// otherwise a quarantine record (attempts made, last error).
+  struct BranchResult {
+    std::optional<BranchOutcome> outcome;
+    std::uint32_t attempts = 1;
+    std::string error;  ///< last failure; empty on success
+
+    bool ok() const { return outcome.has_value(); }
+  };
+
   explicit BranchExecutor(const Scenario& sc);
+
+  /// Attach a write-ahead journal (nullptr detaches). Completed branch
+  /// results are appended after each merge; results already recorded replay
+  /// from the journal instead of executing, with identical cost charges, so
+  /// a resumed search reproduces the uninterrupted SearchResult exactly.
+  void set_journal(Journal* journal) { journal_ = journal; }
 
   /// Benign pass: runs the system for sc.duration and snapshots at the first
   /// send (>= warmup) of each message type by a malicious node. Points come
@@ -63,30 +96,56 @@ class BranchExecutor {
 
   /// Branch from `ip`, arm `action` (nullptr = baseline branch) and run
   /// `windows` observation windows of sc.window each. Charges load + runtime.
+  /// Throws after retry exhaustion (use try_run_branch to contain instead).
   BranchOutcome run_branch(const InjectionPoint& ip,
                            const proxy::MaliciousAction* action, int windows);
 
-  /// Batch form of run_branch: one branch per entry of `actions` (nullptr =
-  /// baseline branch), fanned out across a worker pool of default_jobs()
-  /// threads. Outcomes come back in input order and are byte-identical to
-  /// running the same branches serially, regardless of worker count: each
-  /// branch is an isolated ScenarioWorld restored from one shared immutable
-  /// decoded snapshot, and cost accounting sums the same per-branch charges.
-  std::vector<BranchOutcome> run_branches(
+  /// Contained form of run_branch: a failing branch is retried (fresh
+  /// ScenarioWorld each attempt, every attempt charged) up to
+  /// sc.fault.max_retries times; after exhaustion the result is quarantined —
+  /// recorded in failed() — and returned instead of thrown.
+  BranchResult try_run_branch(const InjectionPoint& ip,
+                              const proxy::MaliciousAction* action,
+                              int windows);
+
+  /// Batch form of try_run_branch: one branch per entry of `actions`
+  /// (nullptr = baseline branch), fanned out across a worker pool of
+  /// default_jobs() threads. Results come back in input order and are
+  /// byte-identical to running the same branches serially, regardless of
+  /// worker count: each branch is an isolated ScenarioWorld restored from one
+  /// shared immutable decoded snapshot, retries happen inside the owning
+  /// worker, and cost accounting sums the same per-branch charges.
+  std::vector<BranchResult> run_branches(
       const InjectionPoint& ip,
       const std::vector<const proxy::MaliciousAction*>& actions, int windows);
 
   /// Benign branch performance over the first window from `ip` (cached).
+  /// Throws after retry exhaustion.
   WindowPerf baseline(const InjectionPoint& ip);
 
+  /// Contained baseline: nullopt when the baseline branch was quarantined
+  /// (recorded in failed(); the injection point is unusable this search).
+  std::optional<WindowPerf> try_baseline(const InjectionPoint& ip);
+
   /// Advance from `ip` by `dur` (benign or under `action`) and snapshot,
-  /// yielding the next injection point for the same message type.
+  /// yielding the next injection point for the same message type. Throws
+  /// after retry exhaustion.
   InjectionPoint continue_branch(const InjectionPoint& ip,
                                  const proxy::MaliciousAction* action,
                                  Duration dur);
 
+  /// Contained form of continue_branch: nullopt after retry exhaustion (the
+  /// failure is recorded in failed()).
+  std::optional<InjectionPoint> try_continue_branch(
+      const InjectionPoint& ip, const proxy::MaliciousAction* action,
+      Duration dur);
+
   SearchCost& cost() { return cost_; }
   const Scenario& scenario() const { return sc_; }
+
+  /// Quarantined branches in execution order (retry exhaustion or runaway
+  /// abort). Algorithms copy this into SearchResult::failed.
+  const std::vector<FailedBranch>& failed() const { return failed_; }
 
   /// Whole-run benign performance over [warmup, warmup + window).
   WindowPerf benign_performance();
@@ -101,9 +160,35 @@ class BranchExecutor {
                                const proxy::MaliciousAction* action,
                                int windows) const;
 
+  /// Containment loop around execute_branch: retries per sc.fault, converts
+  /// every failure into a BranchResult. BudgetExceededError quarantines on
+  /// the first hit (a deterministic runaway only reproduces under retry).
+  BranchResult attempt_branch(const runtime::DecodedSnapshot& snap,
+                              const InjectionPoint& ip,
+                              const proxy::MaliciousAction* action,
+                              int windows) const;
+
+  /// Per-branch cost charges, multiplied out over retry attempts so replayed
+  /// (journaled) and live branches account identically.
+  void charge_attempts(std::uint32_t attempts, int windows);
+
+  void record_failure(const InjectionPoint& ip,
+                      const proxy::MaliciousAction* action,
+                      const BranchResult& r);
+
+  /// Journal key for one (injection point, action, windows) branch.
+  static std::string journal_key(const InjectionPoint& ip,
+                                 const proxy::MaliciousAction* action,
+                                 int windows);
+
   /// Decoded form of ip.snapshot, parsed once per distinct blob and shared by
   /// every branch from that injection point.
   const runtime::DecodedSnapshot& decoded(const InjectionPoint& ip);
+
+  /// Contained decode: retries per sc.fault; nullptr after exhaustion, with
+  /// `failure` describing the quarantine every pending branch inherits.
+  const runtime::DecodedSnapshot* try_decoded(const InjectionPoint& ip,
+                                              BranchResult* failure);
 
   /// Worker pool sized to default_jobs(), rebuilt when the knob changes.
   ThreadPool& pool();
@@ -120,6 +205,13 @@ class BranchExecutor {
   };
   std::map<const Bytes*, DecodedEntry> decoded_cache_;
   std::unique_ptr<ThreadPool> pool_;
+  std::vector<FailedBranch> failed_;
+  Journal* journal_ = nullptr;
 };
+
+/// Journal payload encoding for one BranchResult (also used by brute force,
+/// whose full runs are two windows + a crash count in the same shape).
+Bytes encode_branch_result(const BranchExecutor::BranchResult& r);
+BranchExecutor::BranchResult decode_branch_result(BytesView payload);
 
 }  // namespace turret::search

@@ -3,6 +3,39 @@
 #include <cstdio>
 
 namespace turret::search {
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes).
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
 
 std::string_view attack_effect_name(AttackEffect e) {
   switch (e) {
@@ -29,16 +62,26 @@ std::string AttackReport::describe() const {
   return buf;
 }
 
+std::string FailedBranch::describe() const {
+  char buf[320];
+  std::snprintf(buf, sizeof(buf), "%-34s quarantined after %u attempt%s: %s",
+                had_action ? action.describe().c_str()
+                           : (message_name + " baseline").c_str(),
+                attempts, attempts == 1 ? "" : "s", error.c_str());
+  return buf;
+}
+
 std::string SearchResult::summary() const {
-  char buf[160];
+  char buf[224];
   std::snprintf(buf, sizeof(buf),
                 "[%s] %zu attacks, search time %s (%llu branches, %llu saves, "
-                "%llu loads)",
+                "%llu loads, %llu retries, %zu quarantined)",
                 algorithm.c_str(), attacks.size(),
                 format_duration(cost.total()).c_str(),
                 static_cast<unsigned long long>(cost.branches),
                 static_cast<unsigned long long>(cost.saves),
-                static_cast<unsigned long long>(cost.loads));
+                static_cast<unsigned long long>(cost.loads),
+                static_cast<unsigned long long>(cost.retries), failed.size());
   std::string out = buf;
   for (const AttackReport& a : attacks) {
     out += "\n  ";
@@ -47,6 +90,53 @@ std::string SearchResult::summary() const {
     out += format_duration(a.found_after);
     out += "]";
   }
+  for (const FailedBranch& f : failed) {
+    out += "\n  ";
+    out += f.describe();
+  }
+  return out;
+}
+
+std::string SearchResult::to_json() const {
+  std::string out = "{";
+  out += "\"algorithm\":\"" + json_escape(algorithm) + "\"";
+  out += ",\"baseline_performance\":" + json_number(baseline_performance);
+  out += ",\"attacks\":[";
+  for (std::size_t i = 0; i < attacks.size(); ++i) {
+    const AttackReport& a = attacks[i];
+    if (i) out += ",";
+    out += "{\"action\":\"" + json_escape(a.action.describe()) + "\"";
+    out += ",\"effect\":\"" + std::string(attack_effect_name(a.effect)) + "\"";
+    out += ",\"baseline\":" + json_number(a.baseline_performance);
+    out += ",\"attacked\":" + json_number(a.attacked_performance);
+    out += ",\"recovery\":" + json_number(a.recovery_performance);
+    out += ",\"damage\":" + json_number(a.damage);
+    out += ",\"crashed_nodes\":" + std::to_string(a.crashed_nodes);
+    out += ",\"injection_time\":" + std::to_string(a.injection_time);
+    out += ",\"found_after\":" + std::to_string(a.found_after) + "}";
+  }
+  out += "],\"quarantined\":[";
+  for (std::size_t i = 0; i < failed.size(); ++i) {
+    const FailedBranch& f = failed[i];
+    if (i) out += ",";
+    out += "{\"branch\":\"" +
+           json_escape(f.had_action ? f.action.describe()
+                                    : f.message_name + " baseline") +
+           "\"";
+    out += ",\"message\":\"" + json_escape(f.message_name) + "\"";
+    out += ",\"injection_time\":" + std::to_string(f.injection_time);
+    out += ",\"attempts\":" + std::to_string(f.attempts);
+    out += ",\"error\":\"" + json_escape(f.error) + "\"}";
+  }
+  out += "],\"cost\":{";
+  out += "\"execution\":" + std::to_string(cost.execution);
+  out += ",\"snapshots\":" + std::to_string(cost.snapshots);
+  out += ",\"branches\":" + std::to_string(cost.branches);
+  out += ",\"saves\":" + std::to_string(cost.saves);
+  out += ",\"loads\":" + std::to_string(cost.loads);
+  out += ",\"retries\":" + std::to_string(cost.retries);
+  out += ",\"quarantined\":" + std::to_string(failed.size());
+  out += "}}";
   return out;
 }
 

@@ -38,20 +38,41 @@ struct AttackReport {
 struct SearchCost {
   Duration execution = 0;  ///< virtual time of all runs/branches
   Duration snapshots = 0;  ///< charged save/load overhead
-  std::uint64_t branches = 0;
+  std::uint64_t branches = 0;  ///< branch attempts (retries included)
   std::uint64_t saves = 0;
   std::uint64_t loads = 0;
+  std::uint64_t retries = 0;  ///< attempts beyond each branch's first
 
   Duration total() const { return execution + snapshots; }
+};
+
+/// A branch whose every attempt failed: the action is quarantined — reported
+/// instead of evaluated — and the search continues. had_action is false when
+/// the quarantined branch was a baseline (benign) branch, which quarantines
+/// every action of its injection point along with it.
+struct FailedBranch {
+  proxy::MaliciousAction action;  ///< meaningful when had_action
+  bool had_action = true;
+  wire::TypeTag tag = 0;
+  std::string message_name;
+  Time injection_time = 0;
+  std::uint32_t attempts = 0;
+  std::string error;  ///< what() of the last attempt's failure
+
+  std::string describe() const;
 };
 
 struct SearchResult {
   std::string algorithm;
   std::vector<AttackReport> attacks;
+  std::vector<FailedBranch> failed;  ///< quarantined branches, in search order
   SearchCost cost;
   double baseline_performance = 0;
 
   std::string summary() const;
+  /// Machine-readable form (attacks, quarantine list, cost incl. retry and
+  /// quarantined totals) for turret-run --json and tooling.
+  std::string to_json() const;
 };
 
 }  // namespace turret::search

@@ -34,6 +34,21 @@ struct BranchCostModel {
   Duration load_cost = 38 * kMillisecond;
 };
 
+/// Containment policy for failures inside branch executions. A failing branch
+/// is retried with a fresh ScenarioWorld up to max_retries times (each attempt
+/// charged to SearchCost); after exhaustion the branch is quarantined — the
+/// search records a FailedBranch and continues instead of aborting.
+struct FaultTolerance {
+  /// Extra attempts after the first failure (attempts = 1 + max_retries).
+  int max_retries = 2;
+  /// Emulator events a single branch may process before it is aborted as a
+  /// runaway (BudgetExceededError → immediate quarantine; a deterministic
+  /// platform would only reproduce the runaway on retry). 0 = unlimited.
+  /// The default is orders of magnitude above any legitimate branch, so it
+  /// only trips on unbounded zero-delay event loops.
+  std::uint64_t max_branch_events = 100'000'000;
+};
+
 struct Scenario {
   std::string system_name;
 
@@ -60,6 +75,7 @@ struct Scenario {
 
   proxy::ActionConfig actions;
   BranchCostModel branch_cost;
+  FaultTolerance fault;
 };
 
 }  // namespace turret::search

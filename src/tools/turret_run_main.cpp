@@ -11,10 +11,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
+#include "common/fault.h"
 #include "common/thread_pool.h"
 #include "search/algorithms.h"
+#include "search/journal.h"
 #include "systems/aardvark/aardvark_scenario.h"
 #include "systems/pbft/pbft_scenario.h"
 #include "systems/prime/prime_scenario.h"
@@ -41,6 +44,19 @@ void usage() {
                "                        concurrency; 1 = serial)\n"
                "  --no-verify           disable signature verification (lying\n"
                "                        exploration, as in the paper)\n"
+               "  --faults <spec>       arm fault injection sites; spec is a\n"
+               "                        comma list of <site>:prob:<p>[:<seed>]\n"
+               "                        or <site>:hit:<n>[x<span>] (also read\n"
+               "                        from $TURRET_FAULTS)\n"
+               "  --max-retries <n>     retry a failing branch n times before\n"
+               "                        quarantining it (default 2)\n"
+               "  --branch-budget <n>   emulator event budget per branch; a\n"
+               "                        runaway branch aborts and is\n"
+               "                        quarantined (default 100000000)\n"
+               "  --journal <path>      write-ahead journal of branch outcomes\n"
+               "  --resume              replay completed branches from the\n"
+               "                        journal instead of re-executing them\n"
+               "  --json                print the report as JSON\n"
                "  --list                list systems and exit\n");
 }
 
@@ -53,6 +69,12 @@ struct Options {
   double duration_sec = -1;
   std::uint64_t seed = 0;
   bool verify = true;
+  std::string faults;
+  int max_retries = -1;
+  std::uint64_t branch_budget = 0;
+  std::string journal_path;
+  bool resume = false;
+  bool json = false;
 };
 
 search::Scenario build_scenario(const Options& o) {
@@ -95,6 +117,8 @@ search::Scenario build_scenario(const Options& o) {
   if (o.window_sec > 0) sc.window = static_cast<Duration>(o.window_sec * kSecond);
   if (o.duration_sec > 0)
     sc.duration = static_cast<Duration>(o.duration_sec * kSecond);
+  if (o.max_retries >= 0) sc.fault.max_retries = o.max_retries;
+  if (o.branch_budget > 0) sc.fault.max_branch_events = o.branch_budget;
   return sc;
 }
 
@@ -135,6 +159,18 @@ int main(int argc, char** argv) {
       set_default_jobs(static_cast<unsigned>(v));
     } else if (arg == "--no-verify") {
       o.verify = false;
+    } else if (arg == "--faults") {
+      o.faults = next();
+    } else if (arg == "--max-retries") {
+      o.max_retries = static_cast<int>(std::strtol(next(), nullptr, 10));
+    } else if (arg == "--branch-budget") {
+      o.branch_budget = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--journal") {
+      o.journal_path = next();
+    } else if (arg == "--resume") {
+      o.resume = true;
+    } else if (arg == "--json") {
+      o.json = true;
     } else if (arg == "--list") {
       std::printf("pbft\nsteward\nzyzzyva\nprime\naardvark\n");
       return 0;
@@ -152,28 +188,64 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (o.resume && o.journal_path.empty()) {
+    std::fprintf(stderr, "turret-run: --resume needs --journal <path>\n");
+    return 2;
+  }
+  if (!o.faults.empty()) {
+    try {
+      fault::FaultInjector::instance().configure_from_spec(o.faults);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "turret-run: %s\n", e.what());
+      return 2;
+    }
+  }
+
+  std::unique_ptr<search::Journal> journal;
+  if (!o.journal_path.empty()) {
+    try {
+      journal = search::Journal::open(o.journal_path, o.resume);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "turret-run: %s\n", e.what());
+      return 2;
+    }
+  }
+
   const search::Scenario sc = build_scenario(o);
-  std::printf("system=%s algorithm=%s malicious=%s delta=%.2f w=%s jobs=%u\n",
-              sc.system_name.c_str(), o.algorithm.c_str(),
-              o.malicious_primary ? "primary" : "backup", sc.delta,
-              format_duration(sc.window).c_str(), default_jobs());
+  if (!o.json) {
+    std::printf(
+        "system=%s algorithm=%s malicious=%s delta=%.2f w=%s jobs=%u\n",
+        sc.system_name.c_str(), o.algorithm.c_str(),
+        o.malicious_primary ? "primary" : "backup", sc.delta,
+        format_duration(sc.window).c_str(), default_jobs());
+    if (journal && o.resume)
+      std::printf("journal: resuming, %zu recorded branch outcomes\n",
+                  journal->recorded());
+  }
 
   search::SearchResult res;
   if (o.algorithm == "weighted") {
-    res = search::weighted_greedy_search(sc);
+    res = search::weighted_greedy_search(sc, {}, nullptr, journal.get());
   } else if (o.algorithm == "greedy") {
     search::GreedyOptions gopt;
     gopt.max_repetitions = 4;
-    res = search::greedy_search(sc, gopt);
+    res = search::greedy_search(sc, gopt, journal.get());
   } else if (o.algorithm == "brute") {
-    res = search::brute_force_search(sc);
+    res = search::brute_force_search(sc, journal.get());
   } else {
     std::fprintf(stderr, "turret-run: unknown algorithm '%s'\n",
                  o.algorithm.c_str());
     return 2;
   }
 
-  std::printf("baseline: %.2f\n%s\n", res.baseline_performance,
-              res.summary().c_str());
+  if (o.json) {
+    std::printf("%s\n", res.to_json().c_str());
+  } else {
+    std::printf("baseline: %.2f\n%s\n", res.baseline_performance,
+                res.summary().c_str());
+    if (journal)
+      std::printf("journal: %zu replayed, %zu appended\n", journal->replayed(),
+                  journal->appended());
+  }
   return res.attacks.empty() ? 1 : 0;
 }
