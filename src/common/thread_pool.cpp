@@ -10,6 +10,8 @@ namespace {
 
 std::atomic<unsigned> g_jobs_override{0};
 
+thread_local unsigned t_worker_id = 0;
+
 unsigned jobs_from_env() {
   // Parsed once: the environment is read at first use and never re-read, so
   // concurrent default_jobs() calls never race against getenv.
@@ -36,11 +38,13 @@ void set_default_jobs(unsigned jobs) {
   g_jobs_override.store(jobs, std::memory_order_relaxed);
 }
 
+unsigned current_worker_id() { return t_worker_id; }
+
 ThreadPool::ThreadPool(unsigned workers) {
   const unsigned n = workers > 0 ? workers : default_jobs();
   threads_.reserve(n);
   for (unsigned i = 0; i < n; ++i) {
-    threads_.emplace_back([this] { worker_loop(); });
+    threads_.emplace_back([this, i] { worker_loop(i + 1); });
   }
 }
 
@@ -62,7 +66,8 @@ void ThreadPool::enqueue(std::function<void()> task) {
   cv_.notify_one();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(unsigned worker_id) {
+  t_worker_id = worker_id;
   for (;;) {
     std::function<void()> task;
     {

@@ -32,6 +32,12 @@ unsigned default_jobs();
 /// serial vs parallel runs). 0 restores the env/hardware default.
 void set_default_jobs(unsigned jobs);
 
+/// Id of the pool worker running the calling thread: 1..size() on a worker,
+/// 0 on any thread that is not a pool worker (main, detached helpers). Ids
+/// are per-pool, so wall-clock trace lanes stay small and stable; they are
+/// informational only — no platform logic may branch on them.
+unsigned current_worker_id();
+
 class ThreadPool {
  public:
   /// `workers` == 0 means default_jobs().
@@ -58,7 +64,7 @@ class ThreadPool {
 
  private:
   void enqueue(std::function<void()> task);
-  void worker_loop();
+  void worker_loop(unsigned worker_id);
 
   std::mutex mu_;
   std::condition_variable cv_;

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/fault.h"
+#include "common/trace.h"
 
 namespace turret::netem {
 
@@ -198,6 +199,8 @@ Time Emulator::next_event_time() const {
 
 void Emulator::dispatch(const Event& ev) {
   fault::inject(fault::kEmuDispatch);
+  if (trace::active())
+    trace::counters().emu_events.fetch_add(1, std::memory_order_relaxed);
   switch (ev.kind) {
     case EventKind::kPacketDeliver:
       deliver_packet(ev.packet);

@@ -4,6 +4,7 @@
 #include "common/fault.h"
 #include "common/hash.h"
 #include "common/log.h"
+#include "common/trace.h"
 
 namespace turret::proxy {
 
@@ -104,6 +105,8 @@ std::vector<netem::IngressInterceptor::Delivery> MaliciousProxy::on_send(
     return pass();  // not a protocol message we understand
   }
   ++stats_.observed;
+  if (trace::active())
+    trace::counters().proxy_observed.fetch_add(1, std::memory_order_relaxed);
   if (observer_ && observer_(src, dst, tag)) {
     // Injection-point capture: hold the message while the controller
     // snapshots; it re-enters interception on release.
@@ -114,6 +117,8 @@ std::vector<netem::IngressInterceptor::Delivery> MaliciousProxy::on_send(
   if (!action_ || action_->target_tag != tag) return pass();
   fault::inject(fault::kProxyMutate);
   ++stats_.injected;
+  if (trace::active())
+    trace::counters().proxy_injected.fetch_add(1, std::memory_order_relaxed);
 
   switch (action_->kind) {
     case ActionKind::kDrop:

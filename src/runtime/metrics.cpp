@@ -34,6 +34,7 @@ const MetricsCollector::Series* MetricsCollector::find(
 }
 
 double MetricsCollector::total(std::string_view metric, Time t0, Time t1) const {
+  if (t1 <= t0) return 0;  // empty or inverted window: nothing can fall in it
   auto it = counts_.find(metric);
   if (it == counts_.end()) return 0;
   const Series& s = it->second;
@@ -53,6 +54,7 @@ double MetricsCollector::rate(std::string_view metric, Time t0, Time t1) const {
 SeriesSummary MetricsCollector::summary(std::string_view metric, Time t0,
                                         Time t1) const {
   SeriesSummary out;
+  if (t1 <= t0) return out;  // empty or inverted window
   auto it = values_.find(metric);
   if (it == values_.end()) return out;
   const Series& s = it->second;

@@ -9,6 +9,7 @@
 #include "common/fault.h"
 #include "common/log.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "netem/emulator.h"
 #include "search/journal.h"
 
@@ -82,6 +83,8 @@ BranchResult attempt_full_run(const Scenario& sc, Fn&& fn) {
       return r;
     } catch (const netem::BudgetExceededError& e) {
       r.error = e.what();
+      if (trace::active())
+        trace::counters().budget_aborts.fetch_add(1, std::memory_order_relaxed);
       return r;  // deterministic runaway: quarantine immediately
     } catch (const std::exception& e) {
       r.error = e.what();
@@ -158,6 +161,14 @@ SearchResult brute_force_search(const Scenario& sc, Journal* journal) {
     benign = {w.testbed->metrics().rate(sc.metric.name, sc.warmup,
                                         sc.warmup + sc.window),
               0};
+    if (trace::active()) {
+      trace::counters().discover_ns.fetch_add(
+          static_cast<std::uint64_t>(sc.duration), std::memory_order_relaxed);
+      trace::Span("search", "discover")
+          .at(0)
+          .lasted(sc.duration)
+          .arg("points", static_cast<std::uint64_t>(order.size()));
+    }
   }
 
   // Brute force cannot branch, so every measurement below is an independent
@@ -222,8 +233,12 @@ SearchResult brute_force_search(const Scenario& sc, Journal* journal) {
     // not branch, so it pays a full execution even for the baseline). A
     // journaled result replays from disk instead of executing.
     if (journal != nullptr) {
-      if (std::optional<Bytes> rec = journal->replay(base_key(tw)))
+      if (std::optional<Bytes> rec = journal->replay(base_key(tw))) {
         tw.base_cached = decode_branch_result(*rec);
+        if (trace::active())
+          trace::counters().journal_replays.fetch_add(
+              1, std::memory_order_relaxed);
+      }
     }
     if (!tw.base_cached) {
       tw.base = pool.submit([&sc, &window_perf, t0] {
@@ -244,6 +259,9 @@ SearchResult brute_force_search(const Scenario& sc, Journal* journal) {
       if (journal != nullptr) {
         if (std::optional<Bytes> rec = journal->replay(run_key(tw, i))) {
           tw.run_cached[i] = decode_branch_result(*rec);
+          if (trace::active())
+            trace::counters().journal_replays.fetch_add(
+                1, std::memory_order_relaxed);
           continue;
         }
       }
@@ -292,6 +310,13 @@ SearchResult brute_force_search(const Scenario& sc, Journal* journal) {
   for (TagWork& tw : work) {
     const Time t0 = tw.t0;
     const Time t_end = t0 + 2 * sc.window;
+    trace::Span tag_span("search", "brute-tag");
+    if (trace::active()) {
+      tag_span.at(t0)
+          .lasted(2 * sc.window)
+          .arg("message", tw.name)
+          .arg("actions", static_cast<std::uint64_t>(tw.actions.size()));
+    }
     BranchResult base_r = settle(tw.base_cached, tw.base);
     if (journal != nullptr && !tw.base_cached) {
       journal->append(base_key(tw), encode_branch_result(base_r));
@@ -300,6 +325,15 @@ SearchResult brute_force_search(const Scenario& sc, Journal* journal) {
     cost.execution += static_cast<Duration>(base_r.attempts) * (t0 + sc.window);
     cost.branches += base_r.attempts;
     cost.retries += base_r.attempts - 1;
+    if (trace::active()) {
+      trace::Counters& c = trace::counters();
+      c.branch_attempts.fetch_add(base_r.attempts, std::memory_order_relaxed);
+      c.branch_retries.fetch_add(base_r.attempts - 1,
+                                 std::memory_order_relaxed);
+      c.evaluate_ns.fetch_add(
+          static_cast<std::uint64_t>(base_r.attempts) * (t0 + sc.window),
+          std::memory_order_relaxed);
+    }
     if (!base_r.ok()) {
       // Without the per-type baseline nothing at this tag can be evaluated:
       // quarantine the baseline, then drain (and charge) its attack runs.
@@ -310,6 +344,17 @@ SearchResult brute_force_search(const Scenario& sc, Journal* journal) {
       f.injection_time = t0;
       f.attempts = base_r.attempts;
       f.error = base_r.error;
+      if (trace::active()) {
+        trace::counters().branch_quarantines.fetch_add(
+            1, std::memory_order_relaxed);
+        trace::instant("search", "quarantine", t0,
+                       trace::Args()
+                           .add("message", tw.name)
+                           .add("branch", tw.name + " baseline")
+                           .add("attempts",
+                                static_cast<std::uint64_t>(f.attempts))
+                           .take());
+      }
       res.failed.push_back(std::move(f));
     }
 
@@ -324,6 +369,15 @@ SearchResult brute_force_search(const Scenario& sc, Journal* journal) {
       cost.execution += static_cast<Duration>(run_r.attempts) * t_end;
       cost.branches += run_r.attempts;
       cost.retries += run_r.attempts - 1;
+      if (trace::active()) {
+        trace::Counters& c = trace::counters();
+        c.branch_attempts.fetch_add(run_r.attempts, std::memory_order_relaxed);
+        c.branch_retries.fetch_add(run_r.attempts - 1,
+                                   std::memory_order_relaxed);
+        c.classify_ns.fetch_add(
+            static_cast<std::uint64_t>(run_r.attempts) * t_end,
+            std::memory_order_relaxed);
+      }
       if (!run_r.ok()) {
         FailedBranch f;
         f.action = tw.actions[i];
@@ -333,6 +387,17 @@ SearchResult brute_force_search(const Scenario& sc, Journal* journal) {
         f.injection_time = t0;
         f.attempts = run_r.attempts;
         f.error = run_r.error;
+        if (trace::active()) {
+          trace::counters().branch_quarantines.fetch_add(
+              1, std::memory_order_relaxed);
+          trace::instant("search", "quarantine", t0,
+                         trace::Args()
+                             .add("message", tw.name)
+                             .add("branch", f.action.describe())
+                             .add("attempts",
+                                  static_cast<std::uint64_t>(f.attempts))
+                             .take());
+        }
         res.failed.push_back(std::move(f));
         continue;
       }
@@ -402,6 +467,14 @@ SearchResult greedy_search(const Scenario& sc, const GreedyOptions& opt,
       }
       if (actions.empty()) continue;
 
+      trace::Span point_span("search", "greedy-point");
+      if (trace::active()) {
+        point_span.at(ip0.time)
+            .lasted(static_cast<Duration>(opt.confirmations) * sc.window)
+            .arg("message", ip0.message_name)
+            .arg("actions", static_cast<std::uint64_t>(actions.size()));
+      }
+
       // Evaluate every action at `confirmations` consecutive injection
       // points; an attack must win (strongest damage, above Δ) every time.
       BranchExecutor::InjectionPoint ip = ip0;
@@ -466,6 +539,15 @@ SearchResult greedy_search(const Scenario& sc, const GreedyOptions& opt,
                                          winner_base, *cls.outcome);
           rep.found_after = exec.cost().total();
           TLOG_INFO("greedy: %s", rep.describe().c_str());
+          if (trace::active()) {
+            trace::instant(
+                "search", "greedy-report", winner_ip.time,
+                trace::Args()
+                    .add("action", rep.action.describe())
+                    .add("found_after",
+                         static_cast<std::int64_t>(rep.found_after))
+                    .take());
+          }
           res.attacks.push_back(std::move(rep));
           found_new = true;
         }
@@ -511,6 +593,12 @@ SearchResult weighted_greedy_search(const Scenario& sc,
     // report order, weight bumps and found_after are byte-identical to the
     // serial algorithm.
     const Duration cost_before = exec.cost().total();
+    trace::Span scan_span("search", "weighted-scan");
+    if (trace::active()) {
+      scan_span.at(ip.time)
+          .arg("message", spec->name)
+          .arg("actions", static_cast<std::uint64_t>(actions.size()));
+    }
     const EvalSet es = evaluate_all(exec, ip, actions, base);
 
     std::vector<const proxy::MaliciousAction*> qualifying;
@@ -523,6 +611,8 @@ SearchResult weighted_greedy_search(const Scenario& sc,
     }
     const std::vector<BranchResult> classified =
         exec.run_branches(ip, qualifying, 2);
+    scan_span.lasted(exec.cost().total() - cost_before)
+        .arg("qualifying", static_cast<std::uint64_t>(qualifying.size()));
 
     // Replay: pick the not-yet-tried action from the highest-weight cluster
     // (stable: enumeration order breaks ties), so learned weights steer both
@@ -563,6 +653,15 @@ SearchResult weighted_greedy_search(const Scenario& sc,
           make_report(sc, ip, actions[idx], base, *classified[qi].outcome);
       rep.found_after = running;
       weights[actions[idx].cluster()] += opt.bump;
+      if (trace::active()) {
+        trace::instant(
+            "search", "weight-bump", ip.time,
+            trace::Args()
+                .add("cluster", proxy::cluster_name(actions[idx].cluster()))
+                .add("weight", weights[actions[idx].cluster()])
+                .add("found_after", static_cast<std::int64_t>(running))
+                .take());
+      }
       TLOG_INFO("weighted-greedy: %s", rep.describe().c_str());
       res.attacks.push_back(std::move(rep));
     }

@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/fault.h"
 #include "common/log.h"
+#include "common/trace.h"
 #include "search/journal.h"
 
 namespace turret::search {
@@ -151,9 +152,20 @@ const std::vector<BranchExecutor::InjectionPoint>& BranchExecutor::discover() {
       fresh.clear();
       ++cost_.saves;
       cost_.snapshots += sc_.branch_cost.save_cost;
+      if (trace::active())
+        trace::counters().snapshot_saves.fetch_add(1,
+                                                   std::memory_order_relaxed);
     }
   }
   cost_.execution += sc_.duration;
+  if (trace::active()) {
+    trace::counters().discover_ns.fetch_add(
+        static_cast<std::uint64_t>(sc_.duration), std::memory_order_relaxed);
+    trace::Span("search", "discover")
+        .at(0)
+        .lasted(sc_.duration)
+        .arg("points", static_cast<std::uint64_t>(points_->size()));
+  }
 
   // Whole-run benign performance, reused by reports.
   benign_perf_ = measure(*w.testbed, sc_.warmup, sc_.warmup + sc_.window);
@@ -169,6 +181,11 @@ const runtime::DecodedSnapshot& BranchExecutor::decoded(
     const InjectionPoint& ip) {
   TURRET_CHECK_MSG(ip.snapshot != nullptr, "injection point has no snapshot");
   auto it = decoded_cache_.find(ip.snapshot.get());
+  if (trace::active()) {
+    (it != decoded_cache_.end() ? trace::counters().decode_hits
+                                : trace::counters().decode_misses)
+        .fetch_add(1, std::memory_order_relaxed);
+  }
   if (it == decoded_cache_.end()) {
     // Continuation chains produce a fresh blob per step; keep the cache from
     // growing without bound by dropping everything once it gets large (the
@@ -234,6 +251,18 @@ BranchExecutor::BranchResult BranchExecutor::attempt_branch(
     const runtime::DecodedSnapshot& snap, const InjectionPoint& ip,
     const proxy::MaliciousAction* action, int windows) const {
   BranchResult r;
+  // The per-branch span: stamped with the branch's virtual extent (injection
+  // time, windows * window), so its content — and therefore the sorted trace
+  // — is identical whether the branch ran inline or on a pool worker.
+  trace::Span span("search", "branch");
+  if (trace::active()) {
+    span.at(ip.time)
+        .lasted(static_cast<Duration>(windows) * sc_.window)
+        .arg("message", ip.message_name)
+        .arg("action",
+             action != nullptr ? action->describe() : std::string("baseline"))
+        .arg("windows", static_cast<std::int64_t>(windows));
+  }
   const int max_attempts = 1 + std::max(0, sc_.fault.max_retries);
   for (int attempt = 1;; ++attempt) {
     r.attempts = static_cast<std::uint32_t>(attempt);
@@ -241,18 +270,28 @@ BranchExecutor::BranchResult BranchExecutor::attempt_branch(
       fault::inject(fault::kBranchExec);
       r.outcome = execute_branch(snap, ip, action, windows);
       r.error.clear();
+      span.arg("attempts", static_cast<std::uint64_t>(r.attempts))
+          .arg("outcome", "ok");
       return r;
     } catch (const netem::BudgetExceededError& e) {
       // A runaway branch is deterministic: retrying replays the runaway.
       // Quarantine on the first hit and give the worker back to the pool.
       r.error = e.what();
+      if (trace::active())
+        trace::counters().budget_aborts.fetch_add(1, std::memory_order_relaxed);
+      span.arg("attempts", static_cast<std::uint64_t>(r.attempts))
+          .arg("outcome", "budget");
       return r;
     } catch (const std::exception& e) {
       r.error = e.what();
     } catch (...) {
       r.error = "unknown error";
     }
-    if (attempt >= max_attempts) return r;
+    if (attempt >= max_attempts) {
+      span.arg("attempts", static_cast<std::uint64_t>(r.attempts))
+          .arg("outcome", "quarantined");
+      return r;
+    }
   }
 }
 
@@ -262,6 +301,18 @@ void BranchExecutor::charge_attempts(std::uint32_t attempts, int windows) {
   cost_.retries += attempts - 1;
   cost_.snapshots += static_cast<Duration>(attempts) * sc_.branch_cost.load_cost;
   cost_.execution += static_cast<Duration>(attempts) * windows * sc_.window;
+  if (trace::active()) {
+    // Mirrored at the exact cost-charging site so telemetry totals provably
+    // equal SearchCost (asserted under faults by test_fault_tolerance).
+    trace::Counters& c = trace::counters();
+    c.branch_attempts.fetch_add(attempts, std::memory_order_relaxed);
+    c.branch_retries.fetch_add(attempts - 1, std::memory_order_relaxed);
+    c.snapshot_loads.fetch_add(attempts, std::memory_order_relaxed);
+    const std::uint64_t exec =
+        static_cast<std::uint64_t>(attempts) * windows * sc_.window;
+    (windows == 1 ? c.evaluate_ns : c.classify_ns)
+        .fetch_add(exec, std::memory_order_relaxed);
+  }
 }
 
 void BranchExecutor::record_failure(const InjectionPoint& ip,
@@ -276,6 +327,18 @@ void BranchExecutor::record_failure(const InjectionPoint& ip,
   f.attempts = r.attempts;
   f.error = r.error;
   TLOG_INFO("quarantined: %s", f.describe().c_str());
+  if (trace::active()) {
+    trace::counters().branch_quarantines.fetch_add(1,
+                                                   std::memory_order_relaxed);
+    trace::instant("search", "quarantine", ip.time,
+                   trace::Args()
+                       .add("message", ip.message_name)
+                       .add("branch", f.had_action
+                                          ? f.action.describe()
+                                          : f.message_name + " baseline")
+                       .add("attempts", static_cast<std::uint64_t>(f.attempts))
+                       .take());
+  }
   failed_.push_back(std::move(f));
 }
 
@@ -303,6 +366,15 @@ std::vector<BranchExecutor::BranchResult> BranchExecutor::run_branches(
       if (auto rec = journal_->replay(journal_key(ip, actions[i], windows))) {
         out[i] = decode_branch_result(*rec);
         replayed[i] = true;
+        if (trace::active()) {
+          trace::counters().journal_replays.fetch_add(
+              1, std::memory_order_relaxed);
+          trace::instant(
+              "search", "journal-replay", ip.time,
+              trace::Args()
+                  .add("key", journal_key(ip, actions[i], windows))
+                  .take());
+        }
         continue;
       }
     }
@@ -430,6 +502,9 @@ BranchExecutor::try_continue_branch(const InjectionPoint& ip,
         break;
       } catch (const netem::BudgetExceededError& e) {
         failure.error = e.what();
+        if (trace::active())
+          trace::counters().budget_aborts.fetch_add(1,
+                                                    std::memory_order_relaxed);
         break;  // deterministic runaway: no point retrying
       } catch (const std::exception& e) {
         failure.error = e.what();
@@ -449,6 +524,22 @@ BranchExecutor::try_continue_branch(const InjectionPoint& ip,
   cost_.snapshots += static_cast<Duration>(attempts) *
                      (sc_.branch_cost.load_cost + sc_.branch_cost.save_cost);
   cost_.execution += static_cast<Duration>(attempts) * dur;
+  if (trace::active()) {
+    trace::Counters& c = trace::counters();
+    c.snapshot_loads.fetch_add(attempts, std::memory_order_relaxed);
+    c.snapshot_saves.fetch_add(attempts, std::memory_order_relaxed);
+    c.branch_retries.fetch_add(attempts - 1, std::memory_order_relaxed);
+    c.advance_ns.fetch_add(static_cast<std::uint64_t>(attempts) * dur,
+                           std::memory_order_relaxed);
+    trace::Span("search", "advance")
+        .at(ip.time)
+        .lasted(dur)
+        .arg("message", ip.message_name)
+        .arg("action",
+             action != nullptr ? action->describe() : std::string("baseline"))
+        .arg("attempts", static_cast<std::uint64_t>(attempts))
+        .arg("outcome", next ? "ok" : "quarantined");
+  }
 
   if (!next) {
     failure.attempts = attempts;

@@ -1,0 +1,94 @@
+#include "search/telemetry.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace turret::search {
+namespace {
+
+std::string u64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+double TelemetrySnapshot::branches_per_sec() const {
+  const std::uint64_t exec_ns = counters.execution_ns();
+  if (exec_ns == 0) return 0;
+  return static_cast<double>(counters.branch_attempts) *
+         (1e9 / static_cast<double>(exec_ns));
+}
+
+double TelemetrySnapshot::decode_hit_rate() const {
+  const std::uint64_t touches = counters.decode_hits + counters.decode_misses;
+  if (touches == 0) return 0;
+  return static_cast<double>(counters.decode_hits) /
+         static_cast<double>(touches);
+}
+
+std::string TelemetrySnapshot::to_json() const {
+  const trace::CounterSnapshot& c = counters;
+  std::string out = "{";
+  out += "\"clock\":\"" + std::string(trace::clock_name(clock)) + "\"";
+  out += ",\"branches_per_sec\":" + num(branches_per_sec());
+  out += ",\"decode_hit_rate\":" + num(decode_hit_rate());
+  out += ",\"branch_attempts\":" + u64(c.branch_attempts);
+  out += ",\"retries\":" + u64(c.branch_retries);
+  out += ",\"quarantines\":" + u64(c.branch_quarantines);
+  out += ",\"budget_aborts\":" + u64(c.budget_aborts);
+  out += ",\"decode_hits\":" + u64(c.decode_hits);
+  out += ",\"decode_misses\":" + u64(c.decode_misses);
+  out += ",\"emu_events\":" + u64(c.emu_events);
+  out += ",\"proxy_observed\":" + u64(c.proxy_observed);
+  out += ",\"proxy_injected\":" + u64(c.proxy_injected);
+  out += ",\"journal_replays\":" + u64(c.journal_replays);
+  out += ",\"snapshot_saves\":" + u64(c.snapshot_saves);
+  out += ",\"snapshot_loads\":" + u64(c.snapshot_loads);
+  out += ",\"phase_ns\":{";
+  out += "\"discover\":" + u64(c.discover_ns);
+  out += ",\"evaluate\":" + u64(c.evaluate_ns);
+  out += ",\"classify\":" + u64(c.classify_ns);
+  out += ",\"advance\":" + u64(c.advance_ns);
+  out += "}";
+  out += ",\"dropped_trace_events\":" + u64(c.dropped_events);
+  if (clock == trace::Clock::kWall) {
+    // Wall duration is inherently run-dependent; keeping it out of virtual
+    // mode preserves byte-identical stats blocks across runs and --jobs.
+    out += ",\"wall_us\":" + u64(static_cast<std::uint64_t>(wall_us));
+  }
+  out += "}";
+  return out;
+}
+
+TelemetrySnapshot capture_telemetry() {
+  const trace::Tracer& tracer = trace::Tracer::instance();
+  TelemetrySnapshot t;
+  t.counters = tracer.counters().snapshot();
+  t.clock = tracer.clock();
+  t.wall_us = tracer.wall_now_us();
+  return t;
+}
+
+std::string append_stats(const std::string& result_json,
+                         const TelemetrySnapshot& t) {
+  TURRET_CHECK_MSG(!result_json.empty() && result_json.back() == '}',
+                   "append_stats: result_json is not a JSON object");
+  std::string out = result_json;
+  out.pop_back();
+  out += ",\"stats\":";
+  out += t.to_json();
+  out += "}";
+  return out;
+}
+
+}  // namespace turret::search

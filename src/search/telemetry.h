@@ -1,0 +1,41 @@
+// Aggregate search telemetry: the trace counters folded into the stats block
+// appended to turret-run --json reports.
+//
+// Everything in the block is derived from trace::Counters, which are bumped
+// at the exact program points that charge SearchCost — so the block's retry
+// and quarantine totals provably equal the SearchResult they accompany
+// (test_fault_tolerance asserts this under injected faults). Derived rates
+// use emulator *virtual* time, so the block is byte-identical across --jobs
+// values and repeated same-seed runs; wall-clock duration is reported only
+// in wall-clock trace mode, where determinism is already off the table.
+#pragma once
+
+#include <string>
+
+#include "common/trace.h"
+
+namespace turret::search {
+
+struct TelemetrySnapshot {
+  trace::CounterSnapshot counters;
+  trace::Clock clock = trace::Clock::kVirtual;
+  std::int64_t wall_us = 0;  ///< elapsed wall time; reported only in kWall
+
+  /// Branch attempts per emulated-execution second (0 when nothing ran).
+  double branches_per_sec() const;
+  /// DecodedSnapshot cache hit rate in [0,1] (0 when the cache was untouched).
+  double decode_hit_rate() const;
+
+  /// The stats block: one JSON object, keys in fixed order.
+  std::string to_json() const;
+};
+
+/// Capture the current tracer state as a telemetry snapshot.
+TelemetrySnapshot capture_telemetry();
+
+/// `result_json` with `,"stats":<snapshot>` spliced in before the final '}'.
+/// `result_json` must be a JSON object (as produced by SearchResult::to_json).
+std::string append_stats(const std::string& result_json,
+                         const TelemetrySnapshot& t);
+
+}  // namespace turret::search

@@ -16,8 +16,10 @@
 
 #include "common/fault.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "search/algorithms.h"
 #include "search/journal.h"
+#include "search/telemetry.h"
 #include "systems/aardvark/aardvark_scenario.h"
 #include "systems/pbft/pbft_scenario.h"
 #include "systems/prime/prime_scenario.h"
@@ -56,7 +58,15 @@ void usage() {
                "  --journal <path>      write-ahead journal of branch outcomes\n"
                "  --resume              replay completed branches from the\n"
                "                        journal instead of re-executing them\n"
-               "  --json                print the report as JSON\n"
+               "  --trace <path>        write a chrome://tracing JSON trace of\n"
+               "                        the search (spans per branch and per\n"
+               "                        algorithm phase, final counter values)\n"
+               "  --trace-clock <mode>  virtual (default; deterministic: same\n"
+               "                        seed => byte-identical trace, any\n"
+               "                        --jobs) | wall (real timestamps and\n"
+               "                        worker ids, for profiling)\n"
+               "  --json                print the report as JSON (includes a\n"
+               "                        \"stats\" telemetry block)\n"
                "  --list                list systems and exit\n");
 }
 
@@ -75,6 +85,8 @@ struct Options {
   std::string journal_path;
   bool resume = false;
   bool json = false;
+  std::string trace_path;
+  turret::trace::Clock trace_clock = turret::trace::Clock::kVirtual;
 };
 
 search::Scenario build_scenario(const Options& o) {
@@ -169,6 +181,19 @@ int main(int argc, char** argv) {
       o.journal_path = next();
     } else if (arg == "--resume") {
       o.resume = true;
+    } else if (arg == "--trace") {
+      o.trace_path = next();
+    } else if (arg == "--trace-clock") {
+      const std::string v = next();
+      if (v == "wall") {
+        o.trace_clock = trace::Clock::kWall;
+      } else if (v == "virtual") {
+        o.trace_clock = trace::Clock::kVirtual;
+      } else {
+        std::fprintf(stderr,
+                     "turret-run: --trace-clock wants 'virtual' or 'wall'\n");
+        return 2;
+      }
     } else if (arg == "--json") {
       o.json = true;
     } else if (arg == "--list") {
@@ -211,6 +236,12 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Telemetry is wanted whenever the user asked for a trace file or a JSON
+  // report (which carries the stats block); otherwise every site stays on
+  // its single disarmed branch.
+  if (!o.trace_path.empty() || o.json)
+    trace::Tracer::instance().enable(o.trace_clock);
+
   const search::Scenario sc = build_scenario(o);
   if (!o.json) {
     std::printf(
@@ -238,8 +269,18 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (!o.trace_path.empty()) {
+    try {
+      trace::Tracer::instance().write_chrome_json(o.trace_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "turret-run: %s\n", e.what());
+      return 2;
+    }
+  }
+
   if (o.json) {
-    std::printf("%s\n", res.to_json().c_str());
+    const search::TelemetrySnapshot stats = search::capture_telemetry();
+    std::printf("%s\n", search::append_stats(res.to_json(), stats).c_str());
   } else {
     std::printf("baseline: %.2f\n%s\n", res.baseline_performance,
                 res.summary().c_str());

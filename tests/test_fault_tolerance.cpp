@@ -10,9 +10,11 @@
 
 #include "common/fault.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "netem/emulator.h"
 #include "search/algorithms.h"
 #include "search/executor.h"
+#include "search/telemetry.h"
 #include "systems/pbft/pbft_scenario.h"
 
 namespace turret::search {
@@ -533,6 +535,72 @@ TEST(FaultAcceptance, ParallelSearchUnderFaultsCompletes) {
     EXPECT_EQ(f.attempts, 2u) << f.describe();
     EXPECT_NE(f.error.find("branch-exec"), std::string::npos) << f.error;
   }
+}
+
+// The telemetry counters are bumped at the exact sites that charge
+// SearchCost, so even under injected faults — retries firing, branches
+// quarantining — the stats block must agree with the SearchResult exactly.
+TEST(FaultAcceptance, TelemetryCountersMatchResultUnderFaults) {
+  Scenario sc = toy_scenario();
+  sc.fault.max_retries = 1;
+  for (const unsigned jobs : {1u, 4u}) {
+    set_default_jobs(jobs);
+    trace::ScopedTrace t(trace::Clock::kVirtual);
+    SearchResult res;
+    {
+      fault::ScopedFaults plan("branch-exec:prob:0.3:9");
+      ASSERT_NO_THROW(res = weighted_greedy_search(sc));
+    }
+    const TelemetrySnapshot stats = capture_telemetry();
+    set_default_jobs(0);
+
+    EXPECT_GT(res.cost.retries, 0u) << "fault plan produced no retries at "
+                                    << jobs << " jobs; assertions are vacuous";
+    EXPECT_EQ(stats.counters.branch_retries, res.cost.retries)
+        << "jobs=" << jobs;
+    EXPECT_EQ(stats.counters.branch_quarantines, res.failed.size())
+        << "jobs=" << jobs;
+    EXPECT_EQ(stats.counters.branch_attempts, res.cost.branches)
+        << "jobs=" << jobs;
+    EXPECT_EQ(stats.counters.snapshot_loads, res.cost.loads)
+        << "jobs=" << jobs;
+    EXPECT_EQ(stats.counters.snapshot_saves, res.cost.saves)
+        << "jobs=" << jobs;
+    EXPECT_EQ(static_cast<Duration>(stats.counters.execution_ns()),
+              res.cost.execution)
+        << "jobs=" << jobs;
+
+    // And the quarantine instants in the trace match the quarantine count.
+    std::size_t quarantine_events = 0;
+    for (const trace::TraceEvent& e : trace::Tracer::instance().events()) {
+      if (e.name == "quarantine") ++quarantine_events;
+    }
+    EXPECT_EQ(quarantine_events, res.failed.size()) << "jobs=" << jobs;
+  }
+}
+
+// Same agreement for brute force, whose cost accounting bypasses
+// BranchExecutor (its merge loop charges SearchCost directly).
+TEST(FaultAcceptance, BruteForceTelemetryMatchesResultUnderFaults) {
+  Scenario sc = pbft_scenario();
+  sc.fault.max_retries = 2;
+  set_default_jobs(1);
+  trace::ScopedTrace t(trace::Clock::kVirtual);
+  SearchResult res;
+  {
+    fault::ScopedFaults plan("branch-exec:prob:0.08:42,branch-exec:hit:4x3");
+    ASSERT_NO_THROW(res = brute_force_search(sc));
+  }
+  const TelemetrySnapshot stats = capture_telemetry();
+  set_default_jobs(0);
+
+  EXPECT_GT(res.cost.retries, 0u);
+  EXPECT_FALSE(res.failed.empty());
+  EXPECT_EQ(stats.counters.branch_retries, res.cost.retries);
+  EXPECT_EQ(stats.counters.branch_quarantines, res.failed.size());
+  EXPECT_EQ(stats.counters.branch_attempts, res.cost.branches);
+  EXPECT_EQ(static_cast<Duration>(stats.counters.execution_ns()),
+            res.cost.execution);
 }
 
 }  // namespace

@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "search/algorithms.h"
+#include "search/telemetry.h"
 #include "systems/pbft/pbft_scenario.h"
 
 namespace turret::search {
@@ -106,6 +108,67 @@ TEST(ParallelSearchDeterminism, Greedy) {
 TEST(ParallelSearchDeterminism, WeightedGreedy) {
   const Scenario sc = pbft_scenario();
   check_worker_count_invariance([&] { return weighted_greedy_search(sc); });
+}
+
+// Deterministic-mode traces are themselves assertable artifacts: a weighted
+// greedy run with the same seed must produce a byte-identical Chrome trace
+// and telemetry stats block whether it runs twice in a row or with 1 vs 4
+// workers — virtual timestamps, tid normalization, and the content sort at
+// flush erase every scheduling difference.
+TEST(ParallelSearchDeterminism, TraceAndStatsAreByteIdentical) {
+  const Scenario sc = pbft_scenario();
+  const auto traced_run = [&sc](unsigned jobs) {
+    set_default_jobs(jobs);
+    trace::ScopedTrace t(trace::Clock::kVirtual);
+    weighted_greedy_search(sc);
+    const std::string trace_json = trace::Tracer::instance().chrome_json();
+    const std::string stats_json = capture_telemetry().to_json();
+    set_default_jobs(0);
+    return std::make_pair(trace_json, stats_json);
+  };
+
+  const auto serial_a = traced_run(1);
+  const auto serial_b = traced_run(1);
+  const auto parallel = traced_run(4);
+
+  // Same seed, run twice: byte-identical trace and stats.
+  EXPECT_EQ(serial_a.first, serial_b.first);
+  EXPECT_EQ(serial_a.second, serial_b.second);
+  // 1 worker vs 4 workers: still byte-identical.
+  EXPECT_EQ(serial_a.first, parallel.first);
+  EXPECT_EQ(serial_a.second, parallel.second);
+
+  // The guarantee is only meaningful if the trace actually recorded the run.
+  EXPECT_NE(serial_a.first.find("\"name\":\"branch\""), std::string::npos);
+  EXPECT_NE(serial_a.first.find("\"name\":\"weighted-scan\""),
+            std::string::npos);
+  EXPECT_NE(serial_a.first.find("\"name\":\"discover\""), std::string::npos);
+  EXPECT_NE(serial_a.second.find("\"clock\":\"virtual\""), std::string::npos);
+  EXPECT_EQ(serial_a.second.find("wall_us"), std::string::npos);
+}
+
+// The stats block's counters must agree with the SearchResult they describe
+// on a clean (fault-free) run, serial or parallel.
+TEST(ParallelSearchDeterminism, StatsCountersMatchSearchCost) {
+  const Scenario sc = pbft_scenario();
+  for (const unsigned jobs : {1u, 4u}) {
+    set_default_jobs(jobs);
+    trace::ScopedTrace t(trace::Clock::kVirtual);
+    const SearchResult res = weighted_greedy_search(sc);
+    const TelemetrySnapshot stats = capture_telemetry();
+    set_default_jobs(0);
+    EXPECT_EQ(stats.counters.branch_attempts, res.cost.branches);
+    EXPECT_EQ(stats.counters.branch_retries, res.cost.retries);
+    EXPECT_EQ(stats.counters.branch_quarantines, res.failed.size());
+    EXPECT_EQ(stats.counters.snapshot_saves, res.cost.saves);
+    EXPECT_EQ(stats.counters.snapshot_loads, res.cost.loads);
+    EXPECT_EQ(static_cast<Duration>(stats.counters.execution_ns()),
+              res.cost.execution);
+    EXPECT_EQ(stats.counters.dropped_events, 0u);
+    EXPECT_GT(stats.counters.emu_events, 0u);
+    EXPECT_GT(stats.counters.proxy_observed, 0u);
+    EXPECT_GT(stats.branches_per_sec(), 0.0);
+  }
 }
 
 TEST(ParallelSearchDeterminism, WeightedGreedyLearnsTheSameWeights) {

@@ -41,6 +41,34 @@ TEST(Metrics, SummaryMinMeanMax) {
   EXPECT_EQ(m.summary("lat", 5, 10).count, 0u);
 }
 
+TEST(Metrics, EmptyAndInvertedWindowsAreZero) {
+  MetricsCollector m;
+  m.count("x", kSecond);
+  m.record("lat", kSecond, 5.0);
+  // Empty window (t1 == t0): nothing can fall in a half-open empty interval.
+  EXPECT_DOUBLE_EQ(m.total("x", kSecond, kSecond), 0.0);
+  EXPECT_DOUBLE_EQ(m.rate("x", kSecond, kSecond), 0.0);
+  EXPECT_EQ(m.summary("lat", kSecond, kSecond).count, 0u);
+  // Inverted window (t1 < t0): same, never a negative rate or a wild sum.
+  EXPECT_DOUBLE_EQ(m.total("x", 2 * kSecond, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m.rate("x", 2 * kSecond, 0), 0.0);
+  EXPECT_EQ(m.summary("lat", 2 * kSecond, 0).count, 0u);
+  // Inverted with negative times, in case a caller subtracts past zero.
+  EXPECT_DOUBLE_EQ(m.total("x", kSecond, -kSecond), 0.0);
+  EXPECT_DOUBLE_EQ(m.rate("x", kSecond, -kSecond), 0.0);
+}
+
+TEST(Metrics, SummaryOfEmptyWindowHasSafeMean) {
+  MetricsCollector m;
+  m.record("lat", kSecond, 5.0);
+  const SeriesSummary s = m.summary("lat", 3 * kSecond, 2 * kSecond);
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.sum, 0.0);
+  // mean() on an empty summary must not divide by zero.
+  const double mean = s.mean();
+  EXPECT_TRUE(mean == mean) << "mean of empty summary is NaN";
+}
+
 TEST(Metrics, RejectsOutOfOrderSamples) {
   MetricsCollector m;
   m.count("x", 100);
