@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Runs the search-layer benchmark suite and writes a single machine-readable
+# summary, BENCH_search.json, at the repository root (schema documented in
+# EXPERIMENTS.md). bench_parallel_search runs at full length — it is the
+# scaling result the summary exists for — the fig4 microbench runs in quick
+# mode (short min-time), and the table benches contribute their printed
+# measurement tables verbatim.
+#
+# Usage: scripts/bench_all.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+QUICK_MIN_TIME="${TURRET_BENCH_MIN_TIME:-0.05}"
+
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target \
+  bench_parallel_search bench_fig4_netdevice bench_table2_snapshot \
+  bench_table3_search >/dev/null
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# JSON Lines, one object per {system, algorithm} pair.
+"$BUILD_DIR/bench/bench_parallel_search" >"$TMP/parallel_search.jsonl"
+
+# Google Benchmark binary: quick mode + native JSON output.
+"$BUILD_DIR/bench/bench_fig4_netdevice" \
+  --benchmark_min_time="$QUICK_MIN_TIME" \
+  --benchmark_format=json >"$TMP/fig4_netdevice.json"
+
+# Custom table reproductions: their stdout *is* the measurement table.
+"$BUILD_DIR/bench/bench_table2_snapshot" >"$TMP/table2_snapshot.txt"
+"$BUILD_DIR/bench/bench_table3_search" >"$TMP/table3_search.txt"
+
+python3 - "$TMP" <<'EOF'
+import json, sys, os
+tmp = sys.argv[1]
+
+def path(name):
+    return os.path.join(tmp, name)
+
+with open(path("parallel_search.jsonl")) as f:
+    parallel = [json.loads(line) for line in f if line.strip()]
+
+with open(path("fig4_netdevice.json")) as f:
+    fig4 = json.load(f)
+fig4_trimmed = {
+    "context": {k: fig4.get("context", {}).get(k)
+                for k in ("host_name", "num_cpus", "mhz_per_cpu",
+                          "library_build_type")},
+    "benchmarks": [
+        {k: b.get(k) for k in ("name", "real_time", "cpu_time",
+                               "time_unit", "iterations")
+         if k in b}
+        for b in fig4.get("benchmarks", [])
+    ],
+}
+
+def table(name):
+    with open(path(name)) as f:
+        return {"raw_text": f.read().splitlines()}
+
+out = {
+    "schema_version": 1,
+    "parallel_search": parallel,
+    "microbench": {
+        "fig4_netdevice": fig4_trimmed,
+        "table2_snapshot": table("table2_snapshot.txt"),
+        "table3_search": table("table3_search.txt"),
+    },
+}
+with open("BENCH_search.json", "w") as f:
+    json.dump(out, f, indent=2, sort_keys=True)
+    f.write("\n")
+print("wrote BENCH_search.json")
+EOF

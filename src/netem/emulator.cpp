@@ -69,6 +69,8 @@ Emulator::Emulator(NetConfig cfg)
   devices_.reserve(cfg_.nodes);
   for (NodeId i = 0; i < cfg_.nodes; ++i)
     devices_.push_back(make_device(cfg_.device, cfg_.nodes));
+  if (cfg_.capture.enabled)
+    recorder_ = std::make_unique<FlightRecorder>(cfg_.capture, cfg_.nodes);
 }
 
 const LinkSpec& Emulator::link_spec(NodeId src, NodeId dst) const {
@@ -94,9 +96,19 @@ void Emulator::send_message(NodeId src, NodeId dst, Bytes message) {
   TURRET_CHECK(src < cfg_.nodes && dst < cfg_.nodes);
   ++stats_.messages_sent;
   if (proxy_ != nullptr) {
-    auto deliveries = proxy_->on_send(src, dst, message);
+    auto deliveries = proxy_->on_send(now_, src, dst, message);
     if (deliveries.empty()) {
       ++stats_.messages_dropped_by_proxy;
+      if (recorder_ != nullptr) {
+        PacketRecord rec;
+        rec.t = now_;
+        rec.src = src;
+        rec.dst = dst;
+        rec.size = static_cast<std::uint32_t>(message.size());
+        rec.disposition = PacketDisposition::kProxyDropped;
+        rec.head = message;
+        recorder_->record(std::move(rec));
+      }
       return;
     }
     for (auto& d : deliveries) {
@@ -111,6 +123,17 @@ void Emulator::send_message(NodeId src, NodeId dst, Bytes message) {
         held.frag_count = 0;  // marker: carries a whole message
         held.msg_bytes = static_cast<std::uint32_t>(d.message.size());
         held.payload = std::move(d.message);
+        if (recorder_ != nullptr) {
+          PacketRecord rec;
+          rec.t = now_;
+          rec.src = src;
+          rec.dst = d.dst;
+          rec.size = held.msg_bytes;
+          rec.disposition = PacketDisposition::kProxyHeld;
+          rec.delay = d.delay;
+          rec.head = held.payload;
+          recorder_->record(std::move(rec));
+        }
         push_event(now_ + d.delay, EventKind::kProxyRelease, d.dst,
                    d.reintercept ? 1 : 0, 0, std::move(held));
       } else {
@@ -124,7 +147,19 @@ void Emulator::send_message(NodeId src, NodeId dst, Bytes message) {
 
 void Emulator::transmit(NodeId src, NodeId dst, Bytes message) {
   const LinkSpec& spec = link_spec(src, dst);
-  if (!spec.up) return;  // partitioned: silently dropped, like a dead cable
+  if (!spec.up) {  // partitioned: silently dropped, like a dead cable
+    if (recorder_ != nullptr) {
+      PacketRecord rec;
+      rec.t = now_;
+      rec.src = src;
+      rec.dst = dst;
+      rec.size = static_cast<std::uint32_t>(message.size());
+      rec.disposition = PacketDisposition::kPartitioned;
+      rec.head = std::move(message);
+      recorder_->record(std::move(rec));
+    }
+    return;
+  }
 
   const std::uint64_t msg_id = next_msg_id_++;
   const std::size_t total = message.size();
@@ -153,7 +188,24 @@ void Emulator::transmit(NodeId src, NodeId dst, Bytes message) {
     const auto ser = static_cast<Duration>(bits / spec.bandwidth_bps * kSecond);
     cursor += std::max<Duration>(ser, 1);
 
-    if (spec.loss_rate > 0 && loss_rng_.next_bool(spec.loss_rate)) {
+    const bool lost =
+        spec.loss_rate > 0 && loss_rng_.next_bool(spec.loss_rate);
+    if (recorder_ != nullptr) {
+      PacketRecord rec;
+      rec.t = now_;
+      rec.src = src;
+      rec.dst = dst;
+      rec.msg_id = msg_id;
+      rec.frag_index = i;
+      rec.frag_count = frag_count;
+      rec.size = static_cast<std::uint32_t>(p.payload.size());
+      rec.disposition =
+          lost ? PacketDisposition::kLost : PacketDisposition::kSent;
+      if (!lost) rec.delay = cursor + spec.delay - now_;
+      rec.head = p.payload;
+      recorder_->record(std::move(rec));
+    }
+    if (lost) {
       ++stats_.packets_lost;
       continue;
     }
@@ -225,6 +277,19 @@ void Emulator::dispatch(const Event& ev) {
 void Emulator::deliver_packet(const Packet& p) {
   NetDevice& dev = *devices_[p.dst];
   const Duration dev_latency = dev.receive(p);
+  if (recorder_ != nullptr) {
+    PacketRecord rec;
+    rec.t = now_;
+    rec.src = p.src;
+    rec.dst = p.dst;
+    rec.msg_id = p.msg_id;
+    rec.frag_index = p.frag_index;
+    rec.frag_count = p.frag_count;
+    rec.size = static_cast<std::uint32_t>(p.payload.size());
+    rec.disposition = dev_latency < 0 ? PacketDisposition::kRejected
+                                      : PacketDisposition::kDelivered;
+    recorder_->record(std::move(rec));
+  }
   if (dev_latency < 0) return;  // device rejected the frame
   ++stats_.packets_delivered;
 
@@ -282,6 +347,19 @@ void Emulator::save(serial::Writer& w) const {
   w.u64(stats_.packets_lost);
   w.u64(stats_.messages_dropped_by_proxy);
   w.u64(stats_.events_processed);
+  // Flight recorder: presence is a function of NetConfig, which save/load
+  // pairs must share, so the state is written only when capture is enabled.
+  w.boolean(recorder_ != nullptr);
+  if (recorder_ != nullptr) recorder_->save(w);
+  // Interceptor (malicious proxy) state rides inside the emulator section so
+  // a restored branch rewinds proxy counters and audit log along with the
+  // network. Length-prefixed: a loader without an interceptor skips it.
+  w.boolean(proxy_ != nullptr);
+  if (proxy_ != nullptr) {
+    serial::Writer pw;
+    proxy_->save_state(pw);
+    w.bytes(pw.data());
+  }
 }
 
 void Emulator::load(serial::Reader& r) {
@@ -320,6 +398,17 @@ void Emulator::load(serial::Reader& r) {
   stats_.packets_lost = r.u64();
   stats_.messages_dropped_by_proxy = r.u64();
   stats_.events_processed = r.u64();
+  const bool has_capture = r.boolean();
+  TURRET_CHECK_MSG(has_capture == (recorder_ != nullptr),
+                   "snapshot capture state does not match emulator config");
+  if (recorder_ != nullptr) recorder_->load(r);
+  if (r.boolean()) {
+    const Bytes state = r.bytes();
+    if (proxy_ != nullptr) {
+      serial::Reader pr(state);
+      proxy_->load_state(pr);
+    }
+  }
 }
 
 }  // namespace turret::netem

@@ -23,6 +23,7 @@
 
 #include "common/rng.h"
 #include "common/types.h"
+#include "netem/capture.h"
 #include "netem/device.h"
 #include "netem/event.h"
 #include "netem/packet.h"
@@ -75,9 +76,18 @@ class IngressInterceptor {
 
   virtual ~IngressInterceptor() = default;
 
-  /// Returns the deliveries replacing this send (empty = dropped).
-  virtual std::vector<Delivery> on_send(NodeId src, NodeId dst,
+  /// Returns the deliveries replacing this send (empty = dropped). `now` is
+  /// the emulated time of the send (the interceptor has no clock of its own;
+  /// the audit log timestamps decisions with it).
+  virtual std::vector<Delivery> on_send(Time now, NodeId src, NodeId dst,
                                         BytesView message) = 0;
+
+  /// Interceptor state carried inside emulator snapshots (counters, audit
+  /// log). Default: stateless. save_state() and load_state() must agree on
+  /// the byte format; the emulator length-prefixes the blob, so a snapshot
+  /// loads cleanly into an emulator without an interceptor installed.
+  virtual void save_state(serial::Writer& w) const { (void)w; }
+  virtual void load_state(serial::Reader& r) { (void)r; }
 };
 
 /// Per-ordered-pair link parameters.
@@ -96,6 +106,9 @@ struct NetConfig {
   /// Overrides keyed by (src << 32 | dst); used e.g. for Steward's WAN links.
   std::map<std::uint64_t, LinkSpec> link_overrides;
   std::uint64_t seed = 1;
+  /// Opt-in flight recorder (see netem/capture.h). Off by default: the
+  /// emulator then carries no recorder and the packet path is unchanged.
+  CaptureSpec capture;
 
   static std::uint64_t pair_key(NodeId src, NodeId dst) {
     return (static_cast<std::uint64_t>(src) << 32) | dst;
@@ -172,6 +185,10 @@ class Emulator {
   const EmulatorStats& stats() const { return stats_; }
   const NetDevice& device(NodeId node) const { return *devices_.at(node); }
 
+  /// The flight recorder, or nullptr when capture is disabled.
+  const FlightRecorder* recorder() const { return recorder_.get(); }
+  FlightRecorder* recorder() { return recorder_.get(); }
+
  private:
   struct LinkState {
     Time busy_until = 0;  ///< when the last serialized packet clears the NIC
@@ -203,6 +220,7 @@ class Emulator {
   std::vector<std::unique_ptr<NetDevice>> devices_;
   Rng loss_rng_;
   EmulatorStats stats_;
+  std::unique_ptr<FlightRecorder> recorder_;  ///< null = capture disabled
   MessageSink* sink_ = nullptr;
   IngressInterceptor* proxy_ = nullptr;
 };

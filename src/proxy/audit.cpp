@@ -1,0 +1,97 @@
+#include "proxy/audit.h"
+
+#include "common/check.h"
+
+namespace turret::proxy {
+
+std::string_view audit_decision_name(AuditDecision d) {
+  switch (d) {
+    case AuditDecision::kObserved: return "observed";
+    case AuditDecision::kHeld: return "held";
+    case AuditDecision::kDropped: return "dropped";
+    case AuditDecision::kDelayed: return "delayed";
+    case AuditDecision::kDiverted: return "diverted";
+    case AuditDecision::kDuplicated: return "duplicated";
+    case AuditDecision::kMutated: return "mutated";
+    case AuditDecision::kUndecodable: return "undecodable";
+  }
+  return "?";
+}
+
+void AuditRecord::save(serial::Writer& w) const {
+  w.u64(seq);
+  w.i64(t);
+  w.u32(src);
+  w.u32(dst);
+  w.u16(tag);
+  w.u8(static_cast<std::uint8_t>(decision));
+  w.str(action);
+  w.u32(new_dst);
+  w.u32(copies);
+  w.i64(old_delivery);
+  w.i64(new_delivery);
+  w.vec(diffs,
+        [](serial::Writer& ww, const wire::FieldDiff& d) { d.save(ww); });
+}
+
+AuditRecord AuditRecord::load(serial::Reader& r) {
+  AuditRecord a;
+  a.seq = r.u64();
+  a.t = r.i64();
+  a.src = r.u32();
+  a.dst = r.u32();
+  a.tag = r.u16();
+  a.decision = static_cast<AuditDecision>(r.u8());
+  a.action = r.str();
+  a.new_dst = r.u32();
+  a.copies = r.u32();
+  a.old_delivery = r.i64();
+  a.new_delivery = r.i64();
+  a.diffs = r.vec<wire::FieldDiff>(
+      [](serial::Reader& rr) { return wire::FieldDiff::load(rr); });
+  return a;
+}
+
+AuditLog::AuditLog(std::uint32_t capacity) : capacity_(capacity) {
+  TURRET_CHECK_MSG(capacity_ > 0, "audit log needs capacity");
+}
+
+void AuditLog::append(AuditRecord rec) {
+  rec.seq = total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(rec));
+  } else {
+    ring_[head_] = std::move(rec);
+    head_ = (head_ + 1) % ring_.size();
+  }
+  ++total_;
+}
+
+std::vector<AuditRecord> AuditLog::records() const {
+  std::vector<AuditRecord> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i)
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  return out;
+}
+
+std::uint64_t AuditLog::overwritten() const {
+  return total_ - std::min<std::uint64_t>(total_, ring_.size());
+}
+
+void AuditLog::save(serial::Writer& w) const {
+  w.vec(ring_, [](serial::Writer& ww, const AuditRecord& a) { a.save(ww); });
+  w.u64(head_);
+  w.u64(total_);
+}
+
+void AuditLog::load(serial::Reader& r) {
+  ring_ = r.vec<AuditRecord>(
+      [](serial::Reader& rr) { return AuditRecord::load(rr); });
+  TURRET_CHECK_MSG(ring_.size() <= capacity_,
+                   "audit snapshot exceeds the configured capacity");
+  head_ = static_cast<std::size_t>(r.u64());
+  total_ = r.u64();
+}
+
+}  // namespace turret::proxy

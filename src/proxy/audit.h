@@ -1,0 +1,80 @@
+// Proxy audit log: every observe/inject decision the malicious proxy makes.
+//
+// Attack provenance needs more than counters — it needs to say *which* wire
+// messages an armed action transformed and how. The audit log is a bounded
+// ring of decision records: for lying actions the schema-decoded original vs
+// mutated field values, for delivery actions the drop/delay/divert/duplicate
+// record with old and new delivery times. Records carry the armed action's
+// identity (describe()) so a report can key them by branch and action.
+//
+// The log is part of the proxy's snapshot state (save()/load()), so a
+// restored branch rewinds its decision history along with the network.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "serial/serial.h"
+#include "wire/diff.h"
+#include "wire/schema.h"
+
+namespace turret::proxy {
+
+enum class AuditDecision : std::uint8_t {
+  kObserved = 0,     ///< malicious-sender message seen, passed through
+  kHeld = 1,         ///< held for snapshot re-interception
+  kDropped = 2,      ///< armed drop action discarded the message
+  kDelayed = 3,      ///< armed delay action held the message
+  kDiverted = 4,     ///< armed divert action changed the destination
+  kDuplicated = 5,   ///< armed duplicate action multiplied the message
+  kMutated = 6,      ///< armed lying action rewrote field(s)
+  kUndecodable = 7,  ///< lying action armed but the message failed to decode
+};
+
+std::string_view audit_decision_name(AuditDecision d);
+
+struct AuditRecord {
+  std::uint64_t seq = 0;  ///< monotonic decision number (survives eviction)
+  Time t = 0;             ///< emulated time of the decision
+  NodeId src = 0;
+  NodeId dst = 0;
+  wire::TypeTag tag = 0;
+  AuditDecision decision = AuditDecision::kObserved;
+  std::string action;     ///< armed action identity; empty when unarmed
+  NodeId new_dst = 0;     ///< divert target (== dst for other decisions)
+  std::uint32_t copies = 0;  ///< extra deliveries created by duplication
+  /// Delivery into the network: old = when the untouched send would have
+  /// entered (t), new = when it actually enters (t + hold/delay), -1 when
+  /// the message never enters (dropped).
+  Time old_delivery = 0;
+  Time new_delivery = 0;
+  std::vector<wire::FieldDiff> diffs;  ///< kMutated: original vs forged
+
+  void save(serial::Writer& w) const;
+  static AuditRecord load(serial::Reader& r);
+};
+
+/// Bounded ring of AuditRecords, oldest evicted first.
+class AuditLog {
+ public:
+  explicit AuditLog(std::uint32_t capacity);
+
+  void append(AuditRecord rec);  ///< stamps rec.seq
+
+  /// Records still in the ring, oldest first.
+  std::vector<AuditRecord> records() const;
+  std::uint64_t total() const { return total_; }
+  std::uint64_t overwritten() const;
+
+  void save(serial::Writer& w) const;
+  void load(serial::Reader& r);
+
+ private:
+  std::uint32_t capacity_;
+  std::vector<AuditRecord> ring_;
+  std::size_t head_ = 0;
+  std::uint64_t total_ = 0;  ///< doubles as the next record's seq
+};
+
+}  // namespace turret::proxy

@@ -84,15 +84,23 @@ void MaliciousProxy::arm(const MaliciousAction& action) {
   rng_ = Rng(hash_combine(fnv1a(action.describe()), action.target_tag));
 }
 
-Bytes MaliciousProxy::apply_lie(BytesView message) {
+void MaliciousProxy::enable_audit(std::uint32_t capacity) {
+  audit_ = std::make_unique<AuditLog>(capacity);
+}
+
+Bytes MaliciousProxy::apply_lie(BytesView message,
+                                std::vector<wire::FieldDiff>* diffs) {
   wire::DecodedMessage decoded = wire::decode(schema_, message);
+  std::optional<wire::DecodedMessage> original;
+  if (diffs != nullptr) original = decoded;
   mutate_field(decoded, action_->field_index, action_->strategy,
                action_->operand, rng_);
+  if (diffs != nullptr) *diffs = wire::diff_messages(*original, decoded);
   return wire::encode(decoded);
 }
 
 std::vector<netem::IngressInterceptor::Delivery> MaliciousProxy::on_send(
-    NodeId src, NodeId dst, BytesView message) {
+    Time now, NodeId src, NodeId dst, BytesView message) {
   auto pass = [&]() -> std::vector<Delivery> {
     return {{dst, Bytes(message.begin(), message.end()), 0}};
   };
@@ -104,17 +112,38 @@ std::vector<netem::IngressInterceptor::Delivery> MaliciousProxy::on_send(
   } catch (const wire::WireError&) {
     return pass();  // not a protocol message we understand
   }
+  // Shared shape of this decision's audit record; each path below fills in
+  // what it changed, then record() appends (no-op while audit is disabled).
+  AuditRecord rec;
+  rec.t = now;
+  rec.src = src;
+  rec.dst = dst;
+  rec.tag = tag;
+  rec.new_dst = dst;
+  rec.old_delivery = now;
+  rec.new_delivery = now;
+  const auto record = [&](AuditDecision decision) {
+    if (audit_ == nullptr) return;
+    rec.decision = decision;
+    if (action_) rec.action = action_->describe();
+    audit_->append(std::move(rec));
+  };
   ++stats_.observed;
   if (trace::active())
     trace::counters().proxy_observed.fetch_add(1, std::memory_order_relaxed);
   if (observer_ && observer_(src, dst, tag)) {
     // Injection-point capture: hold the message while the controller
     // snapshots; it re-enters interception on release.
+    rec.new_delivery = now + kHoldDelay;
+    record(AuditDecision::kHeld);
     return {{dst, Bytes(message.begin(), message.end()), kHoldDelay,
              /*reintercept=*/true}};
   }
 
-  if (!action_ || action_->target_tag != tag) return pass();
+  if (!action_ || action_->target_tag != tag) {
+    record(AuditDecision::kObserved);
+    return pass();
+  }
   fault::inject(fault::kProxyMutate);
   ++stats_.injected;
   if (trace::active())
@@ -122,17 +151,29 @@ std::vector<netem::IngressInterceptor::Delivery> MaliciousProxy::on_send(
 
   switch (action_->kind) {
     case ActionKind::kDrop:
-      if (rng_.next_bool(action_->drop_probability)) return {};
+      if (rng_.next_bool(action_->drop_probability)) {
+        rec.new_delivery = -1;
+        record(AuditDecision::kDropped);
+        return {};
+      }
+      record(AuditDecision::kObserved);
       return pass();
 
     case ActionKind::kDelay:
+      rec.new_delivery = now + action_->delay;
+      record(AuditDecision::kDelayed);
       return {{dst, Bytes(message.begin(), message.end()), action_->delay}};
 
     case ActionKind::kDivert: {
       // Deliver to a node other than the intended destination.
-      if (cluster_size_ <= 1) return pass();
+      if (cluster_size_ <= 1) {
+        record(AuditDecision::kObserved);
+        return pass();
+      }
       NodeId other = static_cast<NodeId>(rng_.next_below(cluster_size_));
       if (other == dst) other = (other + 1) % cluster_size_;
+      rec.new_dst = other;
+      record(AuditDecision::kDiverted);
       return {{other, Bytes(message.begin(), message.end()), 0}};
     }
 
@@ -141,22 +182,46 @@ std::vector<netem::IngressInterceptor::Delivery> MaliciousProxy::on_send(
       out.reserve(action_->copies + 1);
       for (std::uint32_t i = 0; i <= action_->copies; ++i)
         out.push_back({dst, Bytes(message.begin(), message.end()), 0});
+      rec.copies = action_->copies;
+      record(AuditDecision::kDuplicated);
       return out;
     }
 
     case ActionKind::kLie: {
       try {
-        return {{dst, apply_lie(message), 0}};
+        Bytes forged = apply_lie(
+            message, audit_ != nullptr ? &rec.diffs : nullptr);
+        record(AuditDecision::kMutated);
+        return {{dst, std::move(forged), 0}};
       } catch (const wire::WireError& e) {
         // Schema/type mismatch: pass the original through rather than forging
         // garbage the schema cannot describe.
         ++stats_.undecodable;
         TLOG_DEBUG("proxy: cannot lie on tag %u: %s", tag, e.what());
+        record(AuditDecision::kUndecodable);
         return pass();
       }
     }
   }
   return pass();
+}
+
+void MaliciousProxy::save_state(serial::Writer& w) const {
+  w.u64(stats_.observed);
+  w.u64(stats_.injected);
+  w.u64(stats_.undecodable);
+  w.boolean(audit_ != nullptr);
+  if (audit_ != nullptr) audit_->save(w);
+}
+
+void MaliciousProxy::load_state(serial::Reader& r) {
+  stats_.observed = r.u64();
+  stats_.injected = r.u64();
+  stats_.undecodable = r.u64();
+  const bool has_audit = r.boolean();
+  TURRET_CHECK_MSG(has_audit == (audit_ != nullptr),
+                   "snapshot audit state does not match proxy config");
+  if (audit_ != nullptr) audit_->load(r);
 }
 
 }  // namespace turret::proxy

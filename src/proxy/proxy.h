@@ -10,12 +10,14 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <set>
 
 #include "common/rng.h"
 #include "netem/emulator.h"
 #include "proxy/action.h"
+#include "proxy/audit.h"
 #include "wire/message.h"
 
 namespace turret::proxy {
@@ -52,11 +54,22 @@ class MaliciousProxy final : public netem::IngressInterceptor {
   bool is_malicious(NodeId node) const { return malicious_.count(node) != 0; }
   const ProxyStats& stats() const { return stats_; }
 
-  std::vector<Delivery> on_send(NodeId src, NodeId dst,
+  /// Enable the bounded audit log (see proxy/audit.h). Off by default; the
+  /// search layer turns it on when the scenario enables network capture.
+  void enable_audit(std::uint32_t capacity);
+  const AuditLog* audit() const { return audit_.get(); }
+
+  std::vector<Delivery> on_send(Time now, NodeId src, NodeId dst,
                                 BytesView message) override;
 
+  /// Snapshot state: counters plus the audit log, carried inside the
+  /// emulator section of testbed snapshots so a restored branch does not
+  /// keep pre-snapshot totals.
+  void save_state(serial::Writer& w) const override;
+  void load_state(serial::Reader& r) override;
+
  private:
-  Bytes apply_lie(BytesView message);
+  Bytes apply_lie(BytesView message, std::vector<wire::FieldDiff>* diffs);
 
   /// How long a held-for-snapshot message waits before re-entering the
   /// interceptor.
@@ -69,6 +82,7 @@ class MaliciousProxy final : public netem::IngressInterceptor {
   SendObserver observer_;
   Rng rng_;
   ProxyStats stats_;
+  std::unique_ptr<AuditLog> audit_;  ///< null = audit disabled
 };
 
 /// Apply a lying strategy to one decoded field. Exposed for tests and for the

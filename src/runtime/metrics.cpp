@@ -73,6 +73,18 @@ SeriesSummary MetricsCollector::summary(std::string_view metric, Time t0,
   return out;
 }
 
+std::vector<MetricPoint> MetricsCollector::points(std::string_view metric,
+                                                  Time t0, Time t1) const {
+  std::vector<MetricPoint> out;
+  if (t1 <= t0) return out;
+  const Series* s = find(metric);
+  if (s == nullptr) return out;
+  auto lo = std::lower_bound(s->begin(), s->end(), t0,
+                             [](const Sample& a, Time t) { return a.t < t; });
+  for (; lo != s->end() && lo->t < t1; ++lo) out.push_back({lo->t, lo->v});
+  return out;
+}
+
 std::vector<std::string> MetricsCollector::metric_names() const {
   std::vector<std::string> names;
   for (const auto& [k, _] : counts_) names.push_back(k);

@@ -18,6 +18,12 @@
 
 namespace turret::runtime {
 
+/// One raw metric sample, exported for provenance reports.
+struct MetricPoint {
+  Time t;
+  double v;
+};
+
 struct SeriesSummary {
   std::uint64_t count = 0;
   double sum = 0;
@@ -43,6 +49,11 @@ class MetricsCollector {
 
   /// min/mean/max of a value metric over [t0, t1).
   SeriesSummary summary(std::string_view metric, Time t0, Time t1) const;
+
+  /// Raw samples of a metric (count or value series) over [t0, t1), in time
+  /// order — the series export provenance reports plot against a baseline.
+  std::vector<MetricPoint> points(std::string_view metric, Time t0,
+                                  Time t1) const;
 
   std::vector<std::string> metric_names() const;
 

@@ -12,6 +12,7 @@
 #include "common/trace.h"
 #include "netem/emulator.h"
 #include "search/journal.h"
+#include "search/provenance.h"
 
 namespace turret::search {
 namespace {
@@ -137,7 +138,8 @@ std::string action_key(wire::TypeTag tag, const proxy::MaliciousAction& a) {
 // Brute force (Fig. 2a)
 // ---------------------------------------------------------------------------
 
-SearchResult brute_force_search(const Scenario& sc, Journal* journal) {
+SearchResult brute_force_search(const Scenario& sc, Journal* journal,
+                                ProvenanceStore* provenance) {
   SearchResult res;
   res.algorithm = "brute-force";
   SearchCost& cost = res.cost;
@@ -161,6 +163,10 @@ SearchResult brute_force_search(const Scenario& sc, Journal* journal) {
     benign = {w.testbed->metrics().rate(sc.metric.name, sc.warmup,
                                         sc.warmup + sc.window),
               0};
+    if (provenance != nullptr) {
+      provenance->add(std::make_shared<const BranchProvenance>(
+          harvest_provenance(w, sc, "discover", 0, sc.duration, 0)));
+    }
     if (trace::active()) {
       trace::counters().discover_ns.fetch_add(
           static_cast<std::uint64_t>(sc.duration), std::memory_order_relaxed);
@@ -241,7 +247,11 @@ SearchResult brute_force_search(const Scenario& sc, Journal* journal) {
       }
     }
     if (!tw.base_cached) {
-      tw.base = pool.submit([&sc, &window_perf, t0] {
+      // Harvest keys are captured by value: the lambda may outlive this loop
+      // iteration, and each task needs its own branch identity.
+      tw.base = pool.submit([&sc, &window_perf, t0,
+                             harvest = provenance != nullptr,
+                             key = base_key(tw)] {
         return attempt_full_run(sc, [&] {
           ScenarioWorld w = make_scenario_world(sc);
           w.testbed->emulator().set_event_budget(sc.fault.max_branch_events);
@@ -249,6 +259,10 @@ SearchResult brute_force_search(const Scenario& sc, Journal* journal) {
           w.testbed->run_until(t0 + sc.window);
           BranchExecutor::BranchOutcome out;
           out.windows = {window_perf(*w.testbed, t0, t0 + sc.window)};
+          if (harvest) {
+            out.provenance = std::make_shared<const BranchProvenance>(
+                harvest_provenance(w, sc, key, t0, t0 + sc.window, 1));
+          }
           return out;
         });
       });
@@ -269,7 +283,9 @@ SearchResult brute_force_search(const Scenario& sc, Journal* journal) {
       // injection point is still the first send of the type, which the armed
       // action is what transforms.
       const proxy::MaliciousAction& action = tw.actions[i];
-      tw.runs[i] = pool.submit([&sc, &window_perf, &action, t0, t_end] {
+      tw.runs[i] = pool.submit([&sc, &window_perf, &action, t0, t_end,
+                                harvest = provenance != nullptr,
+                                key = run_key(tw, i)] {
         return attempt_full_run(sc, [&] {
           ScenarioWorld w = make_scenario_world(sc);
           w.testbed->emulator().set_event_budget(sc.fault.max_branch_events);
@@ -281,6 +297,10 @@ SearchResult brute_force_search(const Scenario& sc, Journal* journal) {
                          window_perf(*w.testbed, t0 + sc.window, t_end)};
           out.new_crashes =
               static_cast<std::uint32_t>(w.testbed->crashed_nodes().size());
+          if (harvest) {
+            out.provenance = std::make_shared<const BranchProvenance>(
+                harvest_provenance(w, sc, key, t0, t_end, 2));
+          }
           return out;
         });
       });
@@ -320,6 +340,10 @@ SearchResult brute_force_search(const Scenario& sc, Journal* journal) {
     BranchResult base_r = settle(tw.base_cached, tw.base);
     if (journal != nullptr && !tw.base_cached) {
       journal->append(base_key(tw), encode_branch_result(base_r));
+    }
+    if (provenance != nullptr && base_r.ok() &&
+        base_r.outcome->provenance != nullptr) {
+      provenance->add(base_r.outcome->provenance);
     }
     // Each attempt re-runs the full execution up to the measured window.
     cost.execution += static_cast<Duration>(base_r.attempts) * (t0 + sc.window);
@@ -362,6 +386,10 @@ SearchResult brute_force_search(const Scenario& sc, Journal* journal) {
       BranchResult run_r = settle(tw.run_cached[i], tw.runs[i]);
       if (journal != nullptr && !tw.run_cached[i]) {
         journal->append(run_key(tw, i), encode_branch_result(run_r));
+      }
+      if (provenance != nullptr && run_r.ok() &&
+          run_r.outcome->provenance != nullptr) {
+        provenance->add(run_r.outcome->provenance);
       }
       // Charged whether or not the run produced an outcome: a throwing
       // branch still executed (satellite fix — the old path skipped both
@@ -418,6 +446,8 @@ SearchResult brute_force_search(const Scenario& sc, Journal* journal) {
       rep.damage = damage;
       rep.crashed_nodes = crashes;
       rep.injection_time = t0;
+      rep.provenance_key = run_key(tw, i);
+      rep.baseline_key = base_key(tw);
       const double damage2 = compute_damage(sc.metric, base, w1);
       if (crashes > 0) {
         rep.effect = AttackEffect::kCrash;
@@ -442,9 +472,10 @@ SearchResult brute_force_search(const Scenario& sc, Journal* journal) {
 // ---------------------------------------------------------------------------
 
 SearchResult greedy_search(const Scenario& sc, const GreedyOptions& opt,
-                           Journal* journal) {
+                           Journal* journal, ProvenanceStore* provenance) {
   BranchExecutor exec(sc);
   exec.set_journal(journal);
+  exec.set_provenance(provenance);
   const auto& points = exec.discover();
 
   SearchResult res;
@@ -538,6 +569,9 @@ SearchResult greedy_search(const Scenario& sc, const GreedyOptions& opt,
           AttackReport rep = make_report(sc, winner_ip, actions[*winner],
                                          winner_base, *cls.outcome);
           rep.found_after = exec.cost().total();
+          rep.provenance_key =
+              BranchExecutor::branch_key(winner_ip, &actions[*winner], 2);
+          rep.baseline_key = exec.last_baseline_key(ip0.tag);
           TLOG_INFO("greedy: %s", rep.describe().c_str());
           if (trace::active()) {
             trace::instant(
@@ -565,9 +599,11 @@ SearchResult greedy_search(const Scenario& sc, const GreedyOptions& opt,
 
 SearchResult weighted_greedy_search(const Scenario& sc,
                                     const WeightedOptions& opt,
-                                    ClusterWeights* learned, Journal* journal) {
+                                    ClusterWeights* learned, Journal* journal,
+                                    ProvenanceStore* provenance) {
   BranchExecutor exec(sc);
   exec.set_journal(journal);
+  exec.set_provenance(provenance);
   const auto& points = exec.discover();
 
   SearchResult res;
@@ -652,6 +688,8 @@ SearchResult weighted_greedy_search(const Scenario& sc,
       AttackReport rep =
           make_report(sc, ip, actions[idx], base, *classified[qi].outcome);
       rep.found_after = running;
+      rep.provenance_key = BranchExecutor::branch_key(ip, &actions[idx], 2);
+      rep.baseline_key = exec.last_baseline_key(ip.tag);
       weights[actions[idx].cluster()] += opt.bump;
       if (trace::active()) {
         trace::instant(

@@ -64,15 +64,25 @@ class Journal;
 /// branch outcomes are appended as they merge, and a journal opened with
 /// resume=true replays them instead of re-executing, reproducing the
 /// uninterrupted SearchResult exactly (costs included).
-SearchResult brute_force_search(const Scenario& sc, Journal* journal = nullptr);
+///
+/// They also accept an optional ProvenanceStore: when non-null (and the
+/// scenario enables netem capture), every live execution harvests its audit
+/// log, packet capture, and metric series into the store, and each
+/// AttackReport carries the store keys of its classification and baseline
+/// branches (journal-replayed branches execute nothing and contribute no
+/// provenance).
+SearchResult brute_force_search(const Scenario& sc, Journal* journal = nullptr,
+                                ProvenanceStore* provenance = nullptr);
 SearchResult greedy_search(const Scenario& sc, const GreedyOptions& opt = {},
-                           Journal* journal = nullptr);
+                           Journal* journal = nullptr,
+                           ProvenanceStore* provenance = nullptr);
 
 /// `learned`, when non-null, receives the final weights (for preloading the
 /// next search).
 SearchResult weighted_greedy_search(const Scenario& sc,
                                     const WeightedOptions& opt = {},
                                     ClusterWeights* learned = nullptr,
-                                    Journal* journal = nullptr);
+                                    Journal* journal = nullptr,
+                                    ProvenanceStore* provenance = nullptr);
 
 }  // namespace turret::search

@@ -8,6 +8,7 @@
 #include "common/log.h"
 #include "common/trace.h"
 #include "search/journal.h"
+#include "search/provenance.h"
 
 namespace turret::search {
 
@@ -87,6 +88,8 @@ ScenarioWorld make_scenario_world(const Scenario& sc) {
   w.proxy = std::make_unique<proxy::MaliciousProxy>(*sc.schema, sc.malicious,
                                                     sc.testbed.net.nodes);
   w.testbed->emulator().set_interceptor(w.proxy.get());
+  if (sc.testbed.net.capture.enabled)
+    w.proxy->enable_audit(sc.testbed.net.capture.audit_capacity);
   return w;
 }
 
@@ -169,6 +172,10 @@ const std::vector<BranchExecutor::InjectionPoint>& BranchExecutor::discover() {
 
   // Whole-run benign performance, reused by reports.
   benign_perf_ = measure(*w.testbed, sc_.warmup, sc_.warmup + sc_.window);
+  if (provenance_ != nullptr) {
+    provenance_->add(std::make_shared<const BranchProvenance>(
+        harvest_provenance(w, sc_, "discover", 0, sc_.duration, 0)));
+  }
   return *points_;
 }
 
@@ -244,6 +251,11 @@ BranchExecutor::BranchOutcome BranchExecutor::execute_branch(
   out.new_crashes =
       static_cast<std::uint32_t>(w.testbed->crashed_nodes().size()) -
       crashed_before;
+  if (provenance_ != nullptr) {
+    out.provenance = std::make_shared<const BranchProvenance>(
+        harvest_provenance(w, sc_, branch_key(ip, action, windows), ip.time,
+                           ip.time + windows * sc_.window, windows));
+  }
   return out;
 }
 
@@ -342,9 +354,9 @@ void BranchExecutor::record_failure(const InjectionPoint& ip,
   failed_.push_back(std::move(f));
 }
 
-std::string BranchExecutor::journal_key(const InjectionPoint& ip,
-                                        const proxy::MaliciousAction* action,
-                                        int windows) {
+std::string BranchExecutor::branch_key(const InjectionPoint& ip,
+                                       const proxy::MaliciousAction* action,
+                                       int windows) {
   return "b|" + std::to_string(ip.tag) + "|" + std::to_string(ip.time) + "|" +
          std::to_string(windows) + "|" +
          (action != nullptr ? action->describe() : "-");
@@ -363,7 +375,7 @@ std::vector<BranchExecutor::BranchResult> BranchExecutor::run_branches(
   live.reserve(actions.size());
   for (std::size_t i = 0; i < actions.size(); ++i) {
     if (journal_ != nullptr) {
-      if (auto rec = journal_->replay(journal_key(ip, actions[i], windows))) {
+      if (auto rec = journal_->replay(branch_key(ip, actions[i], windows))) {
         out[i] = decode_branch_result(*rec);
         replayed[i] = true;
         if (trace::active()) {
@@ -372,7 +384,7 @@ std::vector<BranchExecutor::BranchResult> BranchExecutor::run_branches(
           trace::instant(
               "search", "journal-replay", ip.time,
               trace::Args()
-                  .add("key", journal_key(ip, actions[i], windows))
+                  .add("key", branch_key(ip, actions[i], windows))
                   .take());
         }
         continue;
@@ -428,8 +440,12 @@ std::vector<BranchExecutor::BranchResult> BranchExecutor::run_branches(
   for (std::size_t i = 0; i < actions.size(); ++i) {
     charge_attempts(out[i].attempts, windows);
     if (!out[i].ok()) record_failure(ip, actions[i], out[i]);
+    if (provenance_ != nullptr && out[i].ok() &&
+        out[i].outcome->provenance != nullptr) {
+      provenance_->add(out[i].outcome->provenance);
+    }
     if (journal_ != nullptr && !replayed[i]) {
-      journal_->append(journal_key(ip, actions[i], windows),
+      journal_->append(branch_key(ip, actions[i], windows),
                        encode_branch_result(out[i]));
     }
   }
@@ -456,20 +472,25 @@ BranchExecutor::BranchOutcome BranchExecutor::run_branch(
 
 WindowPerf BranchExecutor::baseline(const InjectionPoint& ip) {
   auto it = baseline_cache_.find(ip.tag);
-  if (it != baseline_cache_.end()) return it->second;
+  if (it != baseline_cache_.end()) return it->second.perf;
   const BranchOutcome out = run_branch(ip, nullptr, 1);
-  baseline_cache_[ip.tag] = out.windows[0];
+  baseline_cache_[ip.tag] = {out.windows[0], branch_key(ip, nullptr, 1)};
   return out.windows[0];
 }
 
 std::optional<WindowPerf> BranchExecutor::try_baseline(
     const InjectionPoint& ip) {
   auto it = baseline_cache_.find(ip.tag);
-  if (it != baseline_cache_.end()) return it->second;
+  if (it != baseline_cache_.end()) return it->second.perf;
   BranchResult r = try_run_branch(ip, nullptr, 1);
   if (!r.ok()) return std::nullopt;  // quarantine recorded by run_branches
-  baseline_cache_[ip.tag] = r.outcome->windows[0];
+  baseline_cache_[ip.tag] = {r.outcome->windows[0], branch_key(ip, nullptr, 1)};
   return r.outcome->windows[0];
+}
+
+std::string BranchExecutor::last_baseline_key(wire::TypeTag tag) const {
+  auto it = baseline_cache_.find(tag);
+  return it != baseline_cache_.end() ? it->second.key : std::string();
 }
 
 std::optional<BranchExecutor::InjectionPoint>

@@ -22,6 +22,8 @@
 namespace turret::search {
 
 class Journal;
+struct BranchProvenance;
+class ProvenanceStore;
 
 /// Raised when branch futures fail outside the containment layer (which
 /// catches everything a branch attempt can throw, so in practice: broken
@@ -69,6 +71,10 @@ class BranchExecutor {
   struct BranchOutcome {
     std::vector<WindowPerf> windows;
     std::uint32_t new_crashes = 0;  ///< benign guests crashed inside the branch
+    /// Observability state harvested before the branch world was torn down;
+    /// null unless a ProvenanceStore is attached and the branch ran live
+    /// (journal replays execute nothing, so they carry no provenance).
+    std::shared_ptr<const BranchProvenance> provenance;
   };
 
   /// One contained branch execution: the outcome when any attempt succeeded,
@@ -88,6 +94,23 @@ class BranchExecutor {
   /// from the journal instead of executing, with identical cost charges, so
   /// a resumed search reproduces the uninterrupted SearchResult exactly.
   void set_journal(Journal* journal) { journal_ = journal; }
+
+  /// Attach a provenance store (nullptr detaches). While attached, every live
+  /// branch execution harvests its audit log, packet capture, and raw metric
+  /// series; harvested branches are added to the store on the single-threaded
+  /// merge path under their branch_key.
+  void set_provenance(ProvenanceStore* store) { provenance_ = store; }
+
+  /// Identity of one (injection point, action, windows) branch — the key the
+  /// journal and the provenance store share.
+  static std::string branch_key(const InjectionPoint& ip,
+                                const proxy::MaliciousAction* action,
+                                int windows);
+
+  /// branch_key of the baseline branch most recently cached for `tag`
+  /// (empty if none) — reports pair an attack with the baseline actually
+  /// compared against.
+  std::string last_baseline_key(wire::TypeTag tag) const;
 
   /// Benign pass: runs the system for sc.duration and snapshots at the first
   /// send (>= warmup) of each message type by a malicious node. Points come
@@ -176,11 +199,6 @@ class BranchExecutor {
                       const proxy::MaliciousAction* action,
                       const BranchResult& r);
 
-  /// Journal key for one (injection point, action, windows) branch.
-  static std::string journal_key(const InjectionPoint& ip,
-                                 const proxy::MaliciousAction* action,
-                                 int windows);
-
   /// Decoded form of ip.snapshot, parsed once per distinct blob and shared by
   /// every branch from that injection point.
   const runtime::DecodedSnapshot& decoded(const InjectionPoint& ip);
@@ -195,7 +213,11 @@ class BranchExecutor {
 
   const Scenario& sc_;
   std::optional<std::vector<InjectionPoint>> points_;
-  std::map<wire::TypeTag, WindowPerf> baseline_cache_;
+  struct BaselineEntry {
+    WindowPerf perf;
+    std::string key;  ///< branch_key of the cached baseline branch
+  };
+  std::map<wire::TypeTag, BaselineEntry> baseline_cache_;
   std::optional<WindowPerf> benign_perf_;
   SearchCost cost_;
 
@@ -207,6 +229,7 @@ class BranchExecutor {
   std::unique_ptr<ThreadPool> pool_;
   std::vector<FailedBranch> failed_;
   Journal* journal_ = nullptr;
+  ProvenanceStore* provenance_ = nullptr;
 };
 
 /// Journal payload encoding for one BranchResult (also used by brute force,

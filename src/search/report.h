@@ -31,6 +31,10 @@ struct AttackReport {
   /// Search time (emulated seconds) elapsed when this attack was reported —
   /// the quantity Table III compares between greedy and weighted greedy.
   Duration found_after = 0;
+  /// ProvenanceStore keys of the classification branch and the baseline it
+  /// was compared against; empty when provenance was not collected.
+  std::string provenance_key;
+  std::string baseline_key;
 
   std::string describe() const;
 };

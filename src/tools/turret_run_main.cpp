@@ -19,6 +19,7 @@
 #include "common/trace.h"
 #include "search/algorithms.h"
 #include "search/journal.h"
+#include "search/provenance.h"
 #include "search/telemetry.h"
 #include "systems/aardvark/aardvark_scenario.h"
 #include "systems/pbft/pbft_scenario.h"
@@ -65,8 +66,17 @@ void usage() {
                "                        seed => byte-identical trace, any\n"
                "                        --jobs) | wall (real timestamps and\n"
                "                        worker ids, for profiling)\n"
+               "  --capture <dir>       enable the network flight recorder and\n"
+               "                        write capture artifacts (provenance\n"
+               "                        .json + pcapng files) into <dir>\n"
+               "  --report <file>       enable capture and write a Markdown\n"
+               "                        provenance report (mutated fields,\n"
+               "                        proxy decisions, delivery timeline,\n"
+               "                        baseline-vs-attack metric series)\n"
                "  --json                print the report as JSON (includes a\n"
-               "                        \"stats\" telemetry block)\n"
+               "                        \"stats\" telemetry block; with\n"
+               "                        --capture/--report also a\n"
+               "                        \"provenance\" block)\n"
                "  --list                list systems and exit\n");
 }
 
@@ -85,6 +95,8 @@ struct Options {
   std::string journal_path;
   bool resume = false;
   bool json = false;
+  std::string capture_dir;
+  std::string report_path;
   std::string trace_path;
   turret::trace::Clock trace_clock = turret::trace::Clock::kVirtual;
 };
@@ -194,6 +206,10 @@ int main(int argc, char** argv) {
                      "turret-run: --trace-clock wants 'virtual' or 'wall'\n");
         return 2;
       }
+    } else if (arg == "--capture") {
+      o.capture_dir = next();
+    } else if (arg == "--report") {
+      o.report_path = next();
     } else if (arg == "--json") {
       o.json = true;
     } else if (arg == "--list") {
@@ -242,7 +258,11 @@ int main(int argc, char** argv) {
   if (!o.trace_path.empty() || o.json)
     trace::Tracer::instance().enable(o.trace_clock);
 
-  const search::Scenario sc = build_scenario(o);
+  search::Scenario sc = build_scenario(o);
+  const bool want_provenance = !o.capture_dir.empty() || !o.report_path.empty();
+  if (want_provenance) sc.testbed.net.capture.enabled = true;
+  search::ProvenanceStore store;
+  search::ProvenanceStore* store_ptr = want_provenance ? &store : nullptr;
   if (!o.json) {
     std::printf(
         "system=%s algorithm=%s malicious=%s delta=%.2f w=%s jobs=%u\n",
@@ -256,13 +276,14 @@ int main(int argc, char** argv) {
 
   search::SearchResult res;
   if (o.algorithm == "weighted") {
-    res = search::weighted_greedy_search(sc, {}, nullptr, journal.get());
+    res = search::weighted_greedy_search(sc, {}, nullptr, journal.get(),
+                                         store_ptr);
   } else if (o.algorithm == "greedy") {
     search::GreedyOptions gopt;
     gopt.max_repetitions = 4;
-    res = search::greedy_search(sc, gopt, journal.get());
+    res = search::greedy_search(sc, gopt, journal.get(), store_ptr);
   } else if (o.algorithm == "brute") {
-    res = search::brute_force_search(sc, journal.get());
+    res = search::brute_force_search(sc, journal.get(), store_ptr);
   } else {
     std::fprintf(stderr, "turret-run: unknown algorithm '%s'\n",
                  o.algorithm.c_str());
@@ -278,9 +299,31 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!o.capture_dir.empty()) {
+    try {
+      search::write_capture_artifacts(o.capture_dir, sc, res, store);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "turret-run: %s\n", e.what());
+      return 2;
+    }
+  }
+  if (!o.report_path.empty()) {
+    const std::string md = search::provenance_markdown(sc, res, store);
+    std::FILE* f = std::fopen(o.report_path.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "turret-run: cannot write '%s'\n",
+                   o.report_path.c_str());
+      return 2;
+    }
+    std::fwrite(md.data(), 1, md.size(), f);
+    std::fclose(f);
+  }
+
   if (o.json) {
     const search::TelemetrySnapshot stats = search::capture_telemetry();
-    std::printf("%s\n", search::append_stats(res.to_json(), stats).c_str());
+    std::string out = res.to_json();
+    if (want_provenance) out = search::append_provenance(out, sc, res, store);
+    std::printf("%s\n", search::append_stats(out, stats).c_str());
   } else {
     std::printf("baseline: %.2f\n%s\n", res.baseline_performance,
                 res.summary().c_str());

@@ -1,0 +1,56 @@
+#include "wire/diff.h"
+
+#include "common/check.h"
+#include "wire/schema.h"
+
+namespace turret::wire {
+
+void FieldDiff::save(serial::Writer& w) const {
+  w.str(field);
+  w.str(type);
+  w.str(before);
+  w.str(after);
+}
+
+FieldDiff FieldDiff::load(serial::Reader& r) {
+  FieldDiff d;
+  d.field = r.str();
+  d.type = r.str();
+  d.before = r.str();
+  d.after = r.str();
+  return d;
+}
+
+std::vector<FieldDiff> diff_messages(const DecodedMessage& a,
+                                     const DecodedMessage& b) {
+  TURRET_CHECK(a.spec != nullptr && b.spec != nullptr);
+  std::vector<FieldDiff> out;
+  if (a.spec != b.spec) {
+    FieldDiff d;
+    d.field = "<message>";
+    d.type = "type";
+    d.before = a.spec->name;
+    d.after = b.spec->name;
+    out.push_back(std::move(d));
+    return out;
+  }
+  const std::size_t n = std::min(a.values.size(), b.values.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string before = a.values[i].to_string();
+    std::string after = b.values[i].to_string();
+    if (before == after) continue;
+    FieldDiff d;
+    d.field = a.spec->fields[i].name;
+    d.type = std::string(field_type_name(a.spec->fields[i].type));
+    d.before = std::move(before);
+    d.after = std::move(after);
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+std::string render_field_diff(const FieldDiff& d) {
+  return d.field + " (" + d.type + "): " + d.before + " -> " + d.after;
+}
+
+}  // namespace turret::wire

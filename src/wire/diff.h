@@ -1,0 +1,36 @@
+// Field-level diff of two decoded messages (provenance pretty-printing).
+//
+// The malicious proxy decodes a message, mutates one field, and re-encodes
+// it; the audit log keeps the before/after values so an attack report can
+// name exactly what was forged. Values are rendered with Value::to_string(),
+// which is deterministic, so diffs are safe inside byte-identical artifacts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "serial/serial.h"
+#include "wire/message.h"
+
+namespace turret::wire {
+
+struct FieldDiff {
+  std::string field;   ///< field name from the schema
+  std::string type;    ///< field type name ("u32", "bytes", ...)
+  std::string before;  ///< original value, rendered
+  std::string after;   ///< mutated value, rendered
+
+  void save(serial::Writer& w) const;
+  static FieldDiff load(serial::Reader& r);
+};
+
+/// Differing fields between two messages decoded from the same spec, in
+/// schema field order. Messages with different specs diff as a single
+/// pseudo-field ("<message>") naming both types.
+std::vector<FieldDiff> diff_messages(const DecodedMessage& a,
+                                     const DecodedMessage& b);
+
+/// "view (u32): 1 -> 4294967295"
+std::string render_field_diff(const FieldDiff& d);
+
+}  // namespace turret::wire

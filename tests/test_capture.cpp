@@ -1,0 +1,379 @@
+// Flight recorder and proxy audit log: ring semantics, emulator disposition
+// records, per-link counters, snapshot byte-identity, pcapng structure, and
+// the proxy's decision log (field-level diffs for lying actions).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "netem/capture.h"
+#include "netem/emulator.h"
+#include "proxy/proxy.h"
+#include "serial/serial.h"
+
+namespace turret::netem {
+namespace {
+
+struct Recorder : MessageSink {
+  std::vector<Bytes> deliveries;
+  void on_message(NodeId, NodeId, Bytes message) override {
+    deliveries.push_back(std::move(message));
+  }
+  void on_event(const Event&) override {}
+};
+
+NetConfig captured_lan(std::uint32_t nodes, std::uint32_t ring = 4096) {
+  NetConfig cfg;
+  cfg.nodes = nodes;
+  cfg.default_link.delay = kMillisecond;
+  cfg.default_link.bandwidth_bps = 1e9;
+  cfg.capture.enabled = true;
+  cfg.capture.ring_capacity = ring;
+  return cfg;
+}
+
+PacketRecord make_record(Time t, NodeId src, NodeId dst, std::uint32_t size) {
+  PacketRecord r;
+  r.t = t;
+  r.src = src;
+  r.dst = dst;
+  r.size = size;
+  r.head = Bytes(size, 0xab);
+  return r;
+}
+
+TEST(FlightRecorder, RingEvictsOldestFirst) {
+  CaptureSpec spec;
+  spec.enabled = true;
+  spec.ring_capacity = 4;
+  FlightRecorder rec(spec, 2);
+  for (int i = 0; i < 6; ++i)
+    rec.record(make_record(i * kMillisecond, 0, 1, 10));
+  EXPECT_EQ(rec.total_records(), 6u);
+  EXPECT_EQ(rec.overwritten(), 2u);
+  const auto records = rec.records();
+  ASSERT_EQ(records.size(), 4u);
+  for (std::size_t i = 0; i < records.size(); ++i)
+    EXPECT_EQ(records[i].t, static_cast<Time>(i + 2) * kMillisecond)
+        << "records must come back oldest first";
+}
+
+TEST(FlightRecorder, HeadTruncatedToSnaplen) {
+  CaptureSpec spec;
+  spec.enabled = true;
+  spec.snaplen = 8;
+  FlightRecorder rec(spec, 2);
+  rec.record(make_record(0, 0, 1, 100));
+  ASSERT_EQ(rec.records().size(), 1u);
+  EXPECT_EQ(rec.records()[0].head.size(), 8u);
+  EXPECT_EQ(rec.records()[0].size, 100u) << "original size survives snaplen";
+}
+
+TEST(FlightRecorder, DelayHistogramBucketsByLog2Microseconds) {
+  DelayHistogram h;
+  h.add(0);                     // < 1 us -> bucket 0
+  h.add(kMicrosecond);          // 1 us -> bucket 1
+  h.add(3 * kMicrosecond);      // [2,4) us -> bucket 2
+  h.add(kSecond);               // saturates into the last bucket
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bucket[0], 1u);
+  EXPECT_EQ(h.bucket[1], 1u);
+  EXPECT_EQ(h.bucket[2], 1u);
+  EXPECT_EQ(h.bucket[DelayHistogram::kBuckets - 1], 1u);
+}
+
+TEST(Capture, EmulatorRecordsSentAndDelivered) {
+  Emulator emu(captured_lan(2));
+  Recorder sink;
+  emu.set_sink(&sink);
+  emu.send_message(0, 1, to_bytes("hello"));
+  emu.run_for(kSecond);
+  ASSERT_EQ(sink.deliveries.size(), 1u);
+
+  ASSERT_NE(emu.recorder(), nullptr);
+  const auto records = emu.recorder()->records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].disposition, PacketDisposition::kSent);
+  EXPECT_EQ(records[0].size, 5u);
+  EXPECT_EQ(to_string(records[0].head), "hello");
+  EXPECT_GT(records[0].delay, 0) << "kSent carries the scheduled delay";
+  EXPECT_EQ(records[1].disposition, PacketDisposition::kDelivered);
+  EXPECT_EQ(records[1].t, records[0].t + records[0].delay);
+
+  const LinkCounters& c = emu.recorder()->link(0, 1);
+  EXPECT_EQ(c.packets, 1u);
+  EXPECT_EQ(c.bytes, 5u);
+  EXPECT_EQ(c.drops, 0u);
+  EXPECT_EQ(c.queue_delay.total(), 1u);
+}
+
+TEST(Capture, DisabledByDefaultAndCarriesNoRecorder) {
+  NetConfig cfg;
+  cfg.nodes = 2;
+  Emulator emu(cfg);
+  EXPECT_EQ(emu.recorder(), nullptr);
+}
+
+TEST(Capture, LossAndPartitionCountAsDrops) {
+  NetConfig cfg = captured_lan(3);
+  cfg.default_link.loss_rate = 0.0;
+  LinkSpec lossy = cfg.default_link;
+  lossy.loss_rate = 1.0;
+  cfg.link_overrides[NetConfig::pair_key(0, 1)] = lossy;
+  LinkSpec down = cfg.default_link;
+  down.up = false;
+  cfg.link_overrides[NetConfig::pair_key(0, 2)] = down;
+
+  Emulator emu(cfg);
+  Recorder sink;
+  emu.set_sink(&sink);
+  emu.send_message(0, 1, to_bytes("lost"));
+  emu.send_message(0, 2, to_bytes("cut"));
+  emu.run_for(kSecond);
+  EXPECT_TRUE(sink.deliveries.empty());
+
+  const auto records = emu.recorder()->records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].disposition, PacketDisposition::kLost);
+  EXPECT_EQ(records[1].disposition, PacketDisposition::kPartitioned);
+  EXPECT_EQ(emu.recorder()->link(0, 1).drops, 1u);
+  EXPECT_EQ(emu.recorder()->link(0, 2).drops, 1u);
+  EXPECT_EQ(emu.recorder()->link(0, 1).packets, 0u)
+      << "packets counts scheduled transmissions only";
+}
+
+TEST(Capture, ProxyDropRecordsDisposition) {
+  struct DropAll : IngressInterceptor {
+    std::vector<Delivery> on_send(Time, NodeId, NodeId,
+                                  BytesView) override {
+      return {};
+    }
+  };
+  Emulator emu(captured_lan(2));
+  DropAll proxy;
+  emu.set_interceptor(&proxy);
+  emu.send_message(0, 1, to_bytes("x"));
+  emu.run_for(kSecond);
+  const auto records = emu.recorder()->records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].disposition, PacketDisposition::kProxyDropped);
+  EXPECT_EQ(emu.recorder()->link(0, 1).drops, 1u);
+}
+
+TEST(Capture, SaveLoadRestoresByteIdenticalCaptureState) {
+  const NetConfig cfg = captured_lan(3, /*ring=*/8);  // force overwrites
+  Emulator a(cfg);
+  Recorder sink;
+  a.set_sink(&sink);
+  for (int i = 0; i < 10; ++i)
+    a.send_message(0, 1 + (i % 2), Bytes{static_cast<std::uint8_t>(i)});
+  a.run_for(kSecond);
+  EXPECT_GT(a.recorder()->overwritten(), 0u);
+
+  serial::Writer w1;
+  a.save(w1);
+  Emulator b(cfg);
+  b.set_sink(&sink);
+  serial::Reader r(w1.data());
+  b.load(r);
+  serial::Writer w2;
+  b.save(w2);
+  EXPECT_EQ(Bytes(w1.data().begin(), w1.data().end()),
+            Bytes(w2.data().begin(), w2.data().end()))
+      << "a restored emulator must replay byte-identical capture state";
+}
+
+TEST(Capture, LoadRejectsCaptureConfigMismatch) {
+  Emulator a(captured_lan(2));
+  serial::Writer w;
+  a.save(w);
+  NetConfig plain;
+  plain.nodes = 2;
+  Emulator b(plain);
+  serial::Reader r(w.data());
+  EXPECT_THROW(b.load(r), std::logic_error);
+}
+
+TEST(Capture, PcapngExportHasValidStructure) {
+  Emulator emu(captured_lan(2));
+  Recorder sink;
+  emu.set_sink(&sink);
+  emu.send_message(0, 1, to_bytes("pcap"));
+  emu.run_for(kSecond);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "turret_capture_test.pcapng")
+          .string();
+  write_pcapng(path, emu.recorder()->records(), 64);
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  Bytes data(1 << 16);
+  data.resize(std::fread(data.data(), 1, data.size(), f));
+  std::fclose(f);
+  std::remove(path.c_str());
+
+  serial::Reader r(data);
+  EXPECT_EQ(r.u32(), 0x0A0D0D0Au) << "section header block";
+  const std::uint32_t shb_len = r.u32();
+  EXPECT_EQ(r.u32(), 0x1A2B3C4Du) << "byte-order magic";
+  r.raw_bytes(shb_len - 12);
+  EXPECT_EQ(r.u32(), 1u) << "interface description block";
+  const std::uint32_t idb_len = r.u32();
+  EXPECT_EQ(r.u16(), 147u) << "LINKTYPE_USER0";
+  r.raw_bytes(idb_len - 10);
+  // One enhanced packet block per record.
+  int epbs = 0;
+  while (!r.exhausted()) {
+    EXPECT_EQ(r.u32(), 6u) << "enhanced packet block";
+    const std::uint32_t len = r.u32();
+    r.raw_bytes(len - 8);
+    ++epbs;
+  }
+  EXPECT_EQ(epbs, 2);
+}
+
+}  // namespace
+}  // namespace turret::netem
+
+namespace turret::proxy {
+namespace {
+
+const wire::Schema& audit_schema() {
+  static const wire::Schema s = wire::parse_schema(R"(
+protocol t;
+message Data = 7 {
+  u32   seq;
+  i32   count;
+}
+)");
+  return s;
+}
+
+Bytes sample() { return wire::MessageWriter(7).u32(100).i32(5).take(); }
+
+MaliciousAction data_action(ActionKind kind) {
+  MaliciousAction a;
+  a.target_tag = 7;
+  a.message_name = "Data";
+  a.kind = kind;
+  return a;
+}
+
+TEST(AuditLog, RingEvictsOldestAndSeqSurvives) {
+  AuditLog log(3);
+  for (int i = 0; i < 5; ++i) {
+    AuditRecord rec;
+    rec.t = i * kMillisecond;
+    log.append(std::move(rec));
+  }
+  EXPECT_EQ(log.total(), 5u);
+  EXPECT_EQ(log.overwritten(), 2u);
+  const auto records = log.records();
+  ASSERT_EQ(records.size(), 3u);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].seq, i + 2) << "seq stamps survive eviction";
+    EXPECT_EQ(records[i].t, static_cast<Time>(i + 2) * kMillisecond);
+  }
+}
+
+TEST(Audit, LieRecordsFieldLevelDiff) {
+  MaliciousProxy proxy(audit_schema(), {0}, 4);
+  proxy.enable_audit(64);
+  MaliciousAction a = data_action(ActionKind::kLie);
+  a.field_index = 1;
+  a.field_name = "count";
+  a.strategy = LieStrategy::kSub;
+  a.operand = 1000;
+  proxy.arm(a);
+  proxy.on_send(2 * kSecond, 0, 1, sample());
+
+  ASSERT_NE(proxy.audit(), nullptr);
+  const auto records = proxy.audit()->records();
+  ASSERT_EQ(records.size(), 1u);
+  const AuditRecord& rec = records[0];
+  EXPECT_EQ(rec.decision, AuditDecision::kMutated);
+  EXPECT_EQ(rec.t, 2 * kSecond);
+  EXPECT_EQ(rec.tag, 7u);
+  EXPECT_EQ(rec.action, a.describe());
+  ASSERT_EQ(rec.diffs.size(), 1u);
+  EXPECT_EQ(rec.diffs[0].field, "count");
+  EXPECT_EQ(rec.diffs[0].type, "i32");
+  EXPECT_EQ(rec.diffs[0].before, "5");
+  EXPECT_EQ(rec.diffs[0].after, "-995");
+}
+
+TEST(Audit, DeliveryDecisionsCarryTimes) {
+  MaliciousProxy proxy(audit_schema(), {0}, 4);
+  proxy.enable_audit(64);
+
+  MaliciousAction drop = data_action(ActionKind::kDrop);
+  drop.drop_probability = 1.0;
+  proxy.arm(drop);
+  proxy.on_send(kSecond, 0, 1, sample());
+
+  MaliciousAction delay = data_action(ActionKind::kDelay);
+  delay.delay = 50 * kMillisecond;
+  proxy.arm(delay);
+  proxy.on_send(2 * kSecond, 0, 1, sample());
+
+  MaliciousAction dup = data_action(ActionKind::kDuplicate);
+  dup.copies = 3;
+  proxy.arm(dup);
+  proxy.on_send(3 * kSecond, 0, 1, sample());
+
+  proxy.disarm();
+  proxy.on_send(4 * kSecond, 0, 1, sample());
+
+  const auto records = proxy.audit()->records();
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records[0].decision, AuditDecision::kDropped);
+  EXPECT_EQ(records[0].new_delivery, -1) << "dropped = never delivered";
+  EXPECT_EQ(records[1].decision, AuditDecision::kDelayed);
+  EXPECT_EQ(records[1].old_delivery, 2 * kSecond);
+  EXPECT_EQ(records[1].new_delivery, 2 * kSecond + 50 * kMillisecond);
+  EXPECT_EQ(records[2].decision, AuditDecision::kDuplicated);
+  EXPECT_EQ(records[2].copies, 3u) << "extra deliveries beyond the original";
+  EXPECT_EQ(records[3].decision, AuditDecision::kObserved);
+  EXPECT_TRUE(records[3].action.empty());
+}
+
+// Satellite fix: proxy counters and the audit log ride inside emulator
+// snapshots, so a restored branch does not keep pre-snapshot totals.
+TEST(Audit, ProxyStateRidesEmulatorSnapshots) {
+  netem::NetConfig cfg;
+  cfg.nodes = 4;
+  cfg.capture.enabled = true;
+
+  netem::Emulator emu(cfg);
+  MaliciousProxy proxy(audit_schema(), {0}, 4);
+  proxy.enable_audit(cfg.capture.audit_capacity);
+  emu.set_interceptor(&proxy);
+  MaliciousAction drop = data_action(ActionKind::kDrop);
+  proxy.arm(drop);
+  emu.send_message(0, 1, sample());
+  emu.run_for(kSecond);
+  EXPECT_EQ(proxy.stats().observed, 1u);
+  EXPECT_EQ(proxy.stats().injected, 1u);
+  ASSERT_EQ(proxy.audit()->records().size(), 1u);
+
+  serial::Writer w;
+  emu.save(w);
+
+  netem::Emulator emu2(cfg);
+  MaliciousProxy proxy2(audit_schema(), {0}, 4);
+  proxy2.enable_audit(cfg.capture.audit_capacity);
+  emu2.set_interceptor(&proxy2);
+  serial::Reader r(w.data());
+  emu2.load(r);
+
+  EXPECT_EQ(proxy2.stats().observed, 1u);
+  EXPECT_EQ(proxy2.stats().injected, 1u);
+  const auto records = proxy2.audit()->records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].decision, AuditDecision::kDropped);
+  EXPECT_EQ(records[0].action, drop.describe());
+}
+
+}  // namespace
+}  // namespace turret::proxy

@@ -29,7 +29,7 @@ struct SchemaAudit : netem::IngressInterceptor {
   std::uint64_t decoded = 0;
   std::vector<std::string> failures;
 
-  std::vector<Delivery> on_send(NodeId src, NodeId dst,
+  std::vector<Delivery> on_send(Time, NodeId src, NodeId dst,
                                 BytesView message) override {
     try {
       const auto msg = wire::decode(*schema, message);

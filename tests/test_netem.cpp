@@ -235,7 +235,7 @@ TEST(Emulator, LoadRejectsMismatchedTopology) {
 TEST(Interceptor, SeesOnlyConfiguredTraffic) {
   struct Tap : IngressInterceptor {
     int calls = 0;
-    std::vector<Delivery> on_send(NodeId src, NodeId dst,
+    std::vector<Delivery> on_send(Time, NodeId src, NodeId dst,
                                   BytesView message) override {
       ++calls;
       return {{dst, Bytes(message.begin(), message.end()), 0}};
@@ -258,7 +258,7 @@ TEST(Interceptor, SeesOnlyConfiguredTraffic) {
 TEST(Interceptor, DelayedReleaseBypassesReinterception) {
   struct DelayAll : IngressInterceptor {
     int calls = 0;
-    std::vector<Delivery> on_send(NodeId src, NodeId dst,
+    std::vector<Delivery> on_send(Time, NodeId src, NodeId dst,
                                   BytesView message) override {
       ++calls;
       return {{dst, Bytes(message.begin(), message.end()), 5 * kMillisecond}};

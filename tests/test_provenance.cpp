@@ -1,0 +1,152 @@
+// Provenance report determinism and content: with capture enabled, the
+// Markdown report and provenance JSON generated from a search are
+// byte-identical across worker counts, name the mutated fields of lying
+// attacks with original vs forged values, and match a checked-in golden file
+// (regenerate with TURRET_UPDATE_GOLDEN=1 after intentional changes).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/thread_pool.h"
+#include "search/algorithms.h"
+#include "search/provenance.h"
+#include "systems/pbft/pbft_scenario.h"
+
+namespace turret::search {
+namespace {
+
+// The same PBFT focus subset test_parallel_search uses: a small action space
+// keeps six searches fast while still producing drop, delay, duplicate, and
+// lying attacks to report on.
+constexpr char kFocusSchema[] = R"(
+protocol pbft;
+message Prepare = 3 {
+  u32   view;
+  u64   seq;
+  u32   replica;
+  bytes digest;
+}
+message Status = 7 {
+  u32   view;
+  u32   replica;
+  u64   last_exec;
+  u64   stable_seq;
+  i32   n_pending;
+}
+)";
+
+const wire::Schema& focus_schema() {
+  static const wire::Schema s = wire::parse_schema(kFocusSchema);
+  return s;
+}
+
+Scenario captured_pbft_scenario() {
+  Scenario sc = systems::pbft::make_pbft_scenario();
+  sc.schema = &focus_schema();
+  sc.warmup = 2 * kSecond;
+  sc.duration = 8 * kSecond;
+  sc.window = 2 * kSecond;
+  sc.actions.drop_probabilities = {1.0};
+  sc.actions.delays = {kSecond};
+  sc.actions.duplicate_counts = {2};
+  sc.actions.divert = false;
+  sc.actions.lie_random = false;
+  sc.actions.relative_operands = {1000};
+  sc.testbed.net.capture.enabled = true;
+  return sc;
+}
+
+struct Artifacts {
+  SearchResult res;
+  std::string json;
+  std::string markdown;
+};
+
+Artifacts run_with_provenance(const Scenario& sc) {
+  ProvenanceStore store;
+  Artifacts a;
+  a.res = weighted_greedy_search(sc, {}, nullptr, nullptr, &store);
+  a.json = provenance_json(sc, a.res, store);
+  a.markdown = provenance_markdown(sc, a.res, store);
+  return a;
+}
+
+TEST(Provenance, ArtifactsAreByteIdenticalAcrossWorkerCounts) {
+  const Scenario sc = captured_pbft_scenario();
+  set_default_jobs(1);
+  const Artifacts serial = run_with_provenance(sc);
+  set_default_jobs(4);
+  const Artifacts parallel = run_with_provenance(sc);
+  set_default_jobs(0);
+
+  ASSERT_FALSE(serial.res.attacks.empty())
+      << "scenario found no attacks; the determinism check would be vacuous";
+  EXPECT_EQ(serial.json, parallel.json);
+  EXPECT_EQ(serial.markdown, parallel.markdown);
+}
+
+TEST(Provenance, LyingAttackNamesMutatedFields) {
+  const Scenario sc = captured_pbft_scenario();
+  ProvenanceStore store;
+  const SearchResult res =
+      weighted_greedy_search(sc, {}, nullptr, nullptr, &store);
+
+  const AttackReport* lie = nullptr;
+  for (const AttackReport& rep : res.attacks) {
+    if (rep.action.kind == proxy::ActionKind::kLie) {
+      lie = &rep;
+      break;
+    }
+  }
+  ASSERT_NE(lie, nullptr) << "scenario should surface a lying attack";
+  ASSERT_FALSE(lie->provenance_key.empty());
+  const auto p = store.find(lie->provenance_key);
+  ASSERT_NE(p, nullptr) << "live classification branch must be harvested";
+
+  std::size_t mutations = 0;
+  for (const proxy::AuditRecord& rec : p->audit) {
+    if (rec.decision != proxy::AuditDecision::kMutated) continue;
+    ASSERT_FALSE(rec.diffs.empty());
+    for (const wire::FieldDiff& d : rec.diffs) {
+      EXPECT_EQ(d.field, lie->action.field_name);
+      EXPECT_NE(d.before, d.after)
+          << "a mutation must change the field value";
+      ++mutations;
+    }
+  }
+  EXPECT_GT(mutations, 0u)
+      << "the lying branch's audit log must record its forgeries";
+  // The baseline branch it was judged against is also in the store.
+  ASSERT_FALSE(lie->baseline_key.empty());
+  EXPECT_NE(store.find(lie->baseline_key), nullptr);
+}
+
+TEST(Provenance, MarkdownReportMatchesGoldenFile) {
+  const Scenario sc = captured_pbft_scenario();
+  set_default_jobs(1);
+  const Artifacts a = run_with_provenance(sc);
+  set_default_jobs(0);
+
+  const std::string golden_path =
+      std::string(TURRET_GOLDEN_DIR) + "/pbft_report.md";
+  if (std::getenv("TURRET_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path, std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << golden_path;
+    out << a.markdown;
+    GTEST_SKIP() << "golden file regenerated: " << golden_path;
+  }
+  std::ifstream in(golden_path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << golden_path
+                  << "; run with TURRET_UPDATE_GOLDEN=1 to create it";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(a.markdown, buf.str())
+      << "report changed; if intentional, regenerate with "
+         "TURRET_UPDATE_GOLDEN=1";
+}
+
+}  // namespace
+}  // namespace turret::search

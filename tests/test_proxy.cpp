@@ -150,7 +150,7 @@ TEST(Proxy, PassesBenignSendersUntouched) {
   auto a = base_action(ActionKind::kDrop);
   a.drop_probability = 1.0;
   proxy.arm(a);
-  const auto out = proxy.on_send(2, 1, sample_data());  // sender 2 is benign
+  const auto out = proxy.on_send(0, 2, 1, sample_data());  // sender 2 is benign
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0].message, sample_data());
   EXPECT_EQ(proxy.stats().observed, 0u);
@@ -161,7 +161,7 @@ TEST(Proxy, DropDiscardsEverything) {
   auto a = base_action(ActionKind::kDrop);
   a.drop_probability = 1.0;
   proxy.arm(a);
-  EXPECT_TRUE(proxy.on_send(0, 1, sample_data()).empty());
+  EXPECT_TRUE(proxy.on_send(0, 0, 1, sample_data()).empty());
   EXPECT_EQ(proxy.stats().injected, 1u);
 }
 
@@ -172,7 +172,7 @@ TEST(Proxy, Drop50HitsRoughlyHalf) {
   proxy.arm(a);
   int dropped = 0;
   for (int i = 0; i < 1000; ++i) {
-    if (proxy.on_send(0, 1, sample_data()).empty()) ++dropped;
+    if (proxy.on_send(0, 0, 1, sample_data()).empty()) ++dropped;
   }
   EXPECT_GT(dropped, 400);
   EXPECT_LT(dropped, 600);
@@ -183,7 +183,7 @@ TEST(Proxy, DelayHoldsMessage) {
   auto a = base_action(ActionKind::kDelay);
   a.delay = kSecond;
   proxy.arm(a);
-  const auto out = proxy.on_send(0, 1, sample_data());
+  const auto out = proxy.on_send(0, 0, 1, sample_data());
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0].delay, kSecond);
   EXPECT_EQ(out[0].message, sample_data());
@@ -194,7 +194,7 @@ TEST(Proxy, DuplicateEmitsNPlusOneCopies) {
   auto a = base_action(ActionKind::kDuplicate);
   a.copies = 50;
   proxy.arm(a);
-  const auto out = proxy.on_send(0, 1, sample_data());
+  const auto out = proxy.on_send(0, 0, 1, sample_data());
   ASSERT_EQ(out.size(), 51u);
   for (const auto& d : out) {
     EXPECT_EQ(d.dst, 1u);
@@ -207,7 +207,7 @@ TEST(Proxy, DivertTargetsAnotherNode) {
   MaliciousProxy proxy(test_schema(), {0}, 4);
   proxy.arm(base_action(ActionKind::kDivert));
   for (int i = 0; i < 50; ++i) {
-    const auto out = proxy.on_send(0, 1, sample_data());
+    const auto out = proxy.on_send(0, 0, 1, sample_data());
     ASSERT_EQ(out.size(), 1u);
     EXPECT_NE(out[0].dst, 1u);
     EXPECT_LT(out[0].dst, 4u);
@@ -221,7 +221,7 @@ TEST(Proxy, LieRewritesOnlyTargetField) {
   a.field_name = "count";
   a.strategy = LieStrategy::kMin;
   proxy.arm(a);
-  const auto out = proxy.on_send(0, 1, sample_data());
+  const auto out = proxy.on_send(0, 0, 1, sample_data());
   ASSERT_EQ(out.size(), 1u);
   const auto decoded = wire::decode(test_schema(), out[0].message);
   EXPECT_EQ(decoded.values[1].as_signed(), -2147483648ll);
@@ -235,7 +235,7 @@ TEST(Proxy, ActionOnlyAppliesToMatchingType) {
   a.drop_probability = 1.0;
   proxy.arm(a);
   const Bytes tiny = wire::MessageWriter(8).u8(3).take();
-  const auto out = proxy.on_send(0, 1, tiny);
+  const auto out = proxy.on_send(0, 0, 1, tiny);
   ASSERT_EQ(out.size(), 1u);  // Tiny passes; only Data is targeted
   EXPECT_EQ(proxy.stats().observed, 1u);
   EXPECT_EQ(proxy.stats().injected, 0u);
@@ -248,16 +248,16 @@ TEST(Proxy, ObserverSeesMaliciousTraffic) {
     seen.push_back(tag);
     return false;
   });
-  proxy.on_send(0, 1, sample_data());
-  proxy.on_send(1, 2, sample_data());  // benign sender: not observed
-  proxy.on_send(2, 3, wire::MessageWriter(8).u8(1).take());
+  proxy.on_send(0, 0, 1, sample_data());
+  proxy.on_send(0, 1, 2, sample_data());  // benign sender: not observed
+  proxy.on_send(0, 2, 3, wire::MessageWriter(8).u8(1).take());
   EXPECT_EQ(seen, (std::vector<wire::TypeTag>{7, 8}));
 }
 
 TEST(Proxy, ObserverHoldRequestsReinterception) {
   MaliciousProxy proxy(test_schema(), {0}, 4);
   proxy.set_observer([](NodeId, NodeId, wire::TypeTag) { return true; });
-  const auto out = proxy.on_send(0, 1, sample_data());
+  const auto out = proxy.on_send(0, 0, 1, sample_data());
   ASSERT_EQ(out.size(), 1u);
   EXPECT_GT(out[0].delay, 0);
   EXPECT_TRUE(out[0].reintercept);
@@ -271,8 +271,8 @@ TEST(Proxy, ArmIsDeterministicPerAction) {
   p1.arm(a);
   p2.arm(a);
   for (int i = 0; i < 100; ++i) {
-    EXPECT_EQ(p1.on_send(0, 1, sample_data()).size(),
-              p2.on_send(0, 1, sample_data()).size());
+    EXPECT_EQ(p1.on_send(0, 0, 1, sample_data()).size(),
+              p2.on_send(0, 0, 1, sample_data()).size());
   }
 }
 
@@ -281,9 +281,9 @@ TEST(Proxy, DisarmRestoresPassThrough) {
   auto a = base_action(ActionKind::kDrop);
   a.drop_probability = 1.0;
   proxy.arm(a);
-  EXPECT_TRUE(proxy.on_send(0, 1, sample_data()).empty());
+  EXPECT_TRUE(proxy.on_send(0, 0, 1, sample_data()).empty());
   proxy.disarm();
-  EXPECT_EQ(proxy.on_send(0, 1, sample_data()).size(), 1u);
+  EXPECT_EQ(proxy.on_send(0, 0, 1, sample_data()).size(), 1u);
 }
 
 }  // namespace
