@@ -1,0 +1,196 @@
+// Branching hot path: whole-testbed save/restore cost per snapshot mode.
+//
+// Table II measures one save of a standing fleet; this bench measures what a
+// *search* pays — a save per injection point (each a delta over the last) and
+// many restores per save (one per branch fanned out from it). Modes:
+//
+//   plain  — stock: every byte of every VM image in every blob, restores
+//            memcpy the images back.
+//   shared — the paper's page-sharing-aware save: per-snapshot KSM map,
+//            per-VM residuals hold references for cross-VM shared pages.
+//   cow    — content-addressed delta: dirty pages interned into a search-wide
+//            PageStore, blobs hold 12-byte refs, restores adopt shared
+//            immutable frames and copy a page only on first write.
+//
+// Fleets are PBFT clusters (5, 10, 15 replicas) running real protocol
+// traffic between saves, with modeled OS/app/unique memory images so blob
+// sizes are Table-II-shaped rather than just the protocol heap.
+//
+// Usage: bench_branch_snapshot [--json] [--quick]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "runtime/testbed.h"
+#include "systems/pbft/pbft_scenario.h"
+
+namespace {
+
+using namespace turret;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct ModeResult {
+  double first_save_s = 0;   ///< cold save (images materialize, full write)
+  double save_s = 0;         ///< mean steady-state (delta) save
+  double restore_s = 0;      ///< mean restore from a pre-decoded snapshot
+  double bytes_per_save = 0; ///< mean bytes physically written per delta save
+  double blob_bytes = 0;     ///< mean blob size per delta save
+  std::uint64_t store_pages = 0;  ///< page-store occupancy after the run (cow)
+  std::uint64_t cow_faults = 0;   ///< faults across all timed restores (cow)
+};
+
+search::Scenario pbft(int n) {
+  systems::pbft::PbftScenarioOptions opt;
+  opt.n = static_cast<std::uint32_t>(n);
+  opt.f = static_cast<std::uint32_t>((n - 1) / 3);
+  return systems::pbft::make_pbft_scenario(opt);
+}
+
+ModeResult run_mode(int n, vm::SnapshotMode mode, int saves, int restores) {
+  const search::Scenario sc = pbft(n);
+  runtime::TestbedConfig cfg = sc.testbed;
+  cfg.snapshot.mode = mode;
+  cfg.snapshot.model_memory = true;
+  // 8 MiB images scaled from the paper's 128 MiB guests: 2048 pages of which
+  // 1280 (OS+app) are sharable across replicas.
+  cfg.snapshot.profile.os_pages = 1024;
+  cfg.snapshot.profile.app_pages = 256;
+  cfg.snapshot.profile.unique_pages = 768;
+  auto store = std::make_shared<vm::PageStore>();
+  if (mode == vm::SnapshotMode::kCow) cfg.snapshot.store = store;
+
+  runtime::Testbed tb(cfg, sc.factory);
+  tb.start();
+  tb.run_for(2 * kSecond);  // warmup: protocol reaches steady state
+
+  ModeResult r;
+  {
+    const auto t0 = Clock::now();
+    tb.save_snapshot();
+    r.first_save_s = seconds_since(t0);
+  }
+
+  // Steady state: the search takes a snapshot per injection point, with
+  // protocol progress (dirty heap pages) in between.
+  Bytes last_blob;
+  for (int s = 0; s < saves; ++s) {
+    tb.run_for(200 * kMillisecond);
+    const auto t0 = Clock::now();
+    last_blob = tb.save_snapshot();
+    r.save_s += seconds_since(t0);
+    const auto& st = tb.last_save_stats();
+    r.bytes_per_save += static_cast<double>(st.bytes_written);
+    r.blob_bytes += static_cast<double>(st.blob_bytes);
+    r.store_pages = st.store_pages;
+  }
+  r.save_s /= saves;
+  r.bytes_per_save /= saves;
+  r.blob_bytes /= saves;
+
+  // Branch fan-out: decode once, restore many times into fresh worlds (the
+  // BranchExecutor hot path), running each briefly like a real branch.
+  const runtime::DecodedSnapshot decoded =
+      runtime::Testbed::decode_snapshot(last_blob, store.get());
+  for (int b = 0; b < restores; ++b) {
+    runtime::Testbed branch(cfg, sc.factory);
+    const auto t0 = Clock::now();
+    branch.load_snapshot(decoded);
+    r.restore_s += seconds_since(t0);
+  }
+  r.restore_s /= restores;
+  if (mode == vm::SnapshotMode::kCow) {
+    // One more restored world, driven forward: count the pages a real branch
+    // actually copies out of the shared base.
+    runtime::Testbed branch(cfg, sc.factory);
+    branch.load_snapshot(decoded);
+    branch.run_for(200 * kMillisecond);
+    branch.save_snapshot();
+    r.cow_faults = branch.last_save_stats().cow_faults;
+  }
+  return r;
+}
+
+const char* kModeNames[] = {"plain", "shared", "cow"};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  int saves = 5, restores = 10;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+    if (std::strcmp(argv[i], "--quick") == 0) { saves = 2; restores = 3; }
+  }
+
+  const std::vector<int> fleets = {5, 10, 15};
+  std::string out = "{\"fleets\":[";
+  if (!json) {
+    std::printf(
+        "BRANCH SNAPSHOT COST BY MODE (PBFT fleets, 8 MiB modeled images)\n"
+        "save = mean delta save; bytes = physically written per save\n\n");
+    std::printf("%-5s %-7s | %10s %10s %10s | %12s %12s\n", "VMs", "mode",
+                "first(s)", "save(s)", "restore(s)", "bytes/save",
+                "blob bytes");
+    std::printf(
+        "--------------------------------------------------------------------"
+        "------\n");
+  }
+  for (std::size_t fi = 0; fi < fleets.size(); ++fi) {
+    const int n = fleets[fi];
+    ModeResult res[3];
+    for (int m = 0; m < 3; ++m) {
+      res[m] = run_mode(n, static_cast<vm::SnapshotMode>(m), saves, restores);
+    }
+    const double cow_bytes_pct =
+        100.0 * (1.0 - res[2].bytes_per_save / res[0].bytes_per_save);
+    const double shared_bytes_pct =
+        100.0 * (1.0 - res[1].bytes_per_save / res[0].bytes_per_save);
+    const double cow_restore_pct =
+        100.0 * (1.0 - res[2].restore_s / res[0].restore_s);
+    if (json) {
+      if (fi) out += ",";
+      out += "{\"vms\":" + std::to_string(n) + ",\"modes\":{";
+      for (int m = 0; m < 3; ++m) {
+        char buf[512];
+        std::snprintf(
+            buf, sizeof(buf),
+            "%s\"%s\":{\"first_save_s\":%.6f,\"save_s\":%.6f,"
+            "\"restore_s\":%.6f,\"bytes_per_save\":%.1f,\"blob_bytes\":%.1f,"
+            "\"store_pages\":%llu,\"cow_faults\":%llu}",
+            m ? "," : "", kModeNames[m], res[m].first_save_s, res[m].save_s,
+            res[m].restore_s, res[m].bytes_per_save, res[m].blob_bytes,
+            static_cast<unsigned long long>(res[m].store_pages),
+            static_cast<unsigned long long>(res[m].cow_faults));
+        out += buf;
+      }
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "},\"reduction\":{\"shared_bytes_pct\":%.1f,"
+                    "\"cow_bytes_pct\":%.1f,\"cow_restore_pct\":%.1f}}",
+                    shared_bytes_pct, cow_bytes_pct, cow_restore_pct);
+      out += buf;
+    } else {
+      for (int m = 0; m < 3; ++m) {
+        std::printf("%-5d %-7s | %10.4f %10.4f %10.6f | %12.0f %12.0f\n", n,
+                    kModeNames[m], res[m].first_save_s, res[m].save_s,
+                    res[m].restore_s, res[m].bytes_per_save,
+                    res[m].blob_bytes);
+      }
+      std::printf(
+          "%-5s bytes reduced: shared %.1f%%, cow %.1f%%; cow restore "
+          "%.1f%% faster\n\n",
+          "", shared_bytes_pct, cow_bytes_pct, cow_restore_pct);
+    }
+  }
+  if (json) {
+    out += "]}";
+    std::printf("%s\n", out.c_str());
+  }
+  return 0;
+}

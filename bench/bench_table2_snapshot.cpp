@@ -18,7 +18,9 @@
 // dominated by the throttle (computed from bytes at a scaled cap).
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
+#include <string>
 
 #include "common/rng.h"
 #include "vm/memory.h"
@@ -138,7 +140,44 @@ Row run_fleet(int n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool json = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+
+  if (json) {
+    // Structured output for bench_all.sh (schema_version 2 in
+    // EXPERIMENTS.md): one row per fleet size plus the §IV-C throttle model.
+    std::string out = "{\"rows\":[";
+    for (int n : {5, 10, 15}) {
+      const Row r = run_fleet(n);
+      char buf[512];
+      std::snprintf(
+          buf, sizeof(buf),
+          "%s{\"vms\":%d,"
+          "\"plain\":{\"save_s\":%.6f,\"load_s\":%.6f,\"size_mb\":%.2f},"
+          "\"shared\":{\"save_s\":%.6f,\"load_s\":%.6f,\"size_mb\":%.2f},"
+          "\"reduction\":{\"save_pct\":%.1f,\"size_pct\":%.1f}}",
+          n == 5 ? "" : ",", r.vms, r.plain_save, r.plain_load, r.plain_mb,
+          r.shared_save, r.shared_load, r.shared_mb,
+          100.0 * (1.0 - r.shared_save / r.plain_save),
+          100.0 * (1.0 - r.shared_mb / r.plain_mb));
+      out += buf;
+    }
+    const Row r5 = run_fleet(5);
+    const double throttle_mb_per_s = 55.0;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "],\"throttled_save_5vms\":{\"throttle_mb_per_s\":%.0f,"
+                  "\"throttled_s\":%.2f,\"max_bandwidth_s\":%.2f,"
+                  "\"shared_s\":%.2f}}",
+                  throttle_mb_per_s, r5.plain_mb / throttle_mb_per_s,
+                  r5.plain_save, r5.shared_save);
+    out += buf;
+    std::printf("%s\n", out.c_str());
+    return 0;
+  }
+
   std::printf(
       "TABLE II. PERFORMANCE OF SAVE AND LOAD SNAPSHOT OF VMs\n"
       "(32 MiB scaled images; paper used 128 MiB KVM guests — shape: "

@@ -11,7 +11,9 @@
 // find-strongest/exclude/repeat passes (its cost per repetition is the
 // point).
 #include <cstdio>
+#include <cstring>
 #include <map>
+#include <string>
 
 #include "search/algorithms.h"
 #include "systems/pbft/pbft_scenario.h"
@@ -68,26 +70,66 @@ std::string attack_group(const search::AttackReport& a) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool json = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+
   const wire::Schema schema = wire::parse_schema(kFocusSchema);
 
-  std::printf("Running weighted greedy search on PBFT...\n");
+  if (!json) std::printf("Running weighted greedy search on PBFT...\n");
   const search::SearchResult weighted =
       search::weighted_greedy_search(scenario(schema));
-  std::printf("  -> %zu attacks, %s total\n", weighted.attacks.size(),
-              format_duration(weighted.cost.total()).c_str());
+  if (!json)
+    std::printf("  -> %zu attacks, %s total\n", weighted.attacks.size(),
+                format_duration(weighted.cost.total()).c_str());
 
-  std::printf("Running greedy search on PBFT (4 repetitions)...\n");
+  if (!json) std::printf("Running greedy search on PBFT (4 repetitions)...\n");
   search::GreedyOptions gopt;
   gopt.confirmations = 2;
   gopt.max_repetitions = 4;
   const search::SearchResult greedy = search::greedy_search(scenario(schema), gopt);
-  std::printf("  -> %zu attacks, %s total\n\n", greedy.attacks.size(),
-              format_duration(greedy.cost.total()).c_str());
+  if (!json)
+    std::printf("  -> %zu attacks, %s total\n\n", greedy.attacks.size(),
+                format_duration(greedy.cost.total()).c_str());
 
   std::map<std::string, Duration> weighted_times;
   for (const auto& a : weighted.attacks)
     weighted_times.emplace(attack_group(a), a.found_after);
+
+  if (json) {
+    // Structured output for bench_all.sh (schema_version 2 in
+    // EXPERIMENTS.md): the attack-vs-attack comparison as rows.
+    std::string out = "{\"greedy\":{";
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "\"attacks\":%zu,\"total_s\":%.1f},\"weighted\":{"
+                  "\"attacks\":%zu,\"total_s\":%.1f},\"rows\":[",
+                  greedy.attacks.size(),
+                  static_cast<double>(greedy.cost.total()) / kSecond,
+                  weighted.attacks.size(),
+                  static_cast<double>(weighted.cost.total()) / kSecond);
+    out += buf;
+    bool first = true;
+    for (const auto& a : greedy.attacks) {
+      const auto it = weighted_times.find(attack_group(a));
+      if (it == weighted_times.end()) continue;
+      const double g = static_cast<double>(a.found_after) / kSecond;
+      const double w = static_cast<double>(it->second) / kSecond;
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"attack\":\"%s\",\"greedy_s\":%.1f,"
+                    "\"weighted_s\":%.1f,\"reduced_pct\":%.1f}",
+                    first ? "" : ",", attack_group(a).c_str(), g, w,
+                    100.0 * (1.0 - w / g));
+      out += buf;
+      first = false;
+    }
+    std::snprintf(buf, sizeof(buf), "],\"weighted_only_attacks\":%zu}",
+                  weighted.attacks.size() - greedy.attacks.size());
+    out += buf;
+    std::printf("%s\n", out.c_str());
+    return 0;
+  }
 
   std::printf(
       "TABLE III. PERFORMANCE OF THE WEIGHTED GREEDY AND THE GREEDY "

@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # Runs the search-layer benchmark suite and writes a single machine-readable
-# summary, BENCH_search.json, at the repository root (schema documented in
-# EXPERIMENTS.md). bench_parallel_search runs at full length — it is the
-# scaling result the summary exists for — the fig4 microbench runs in quick
-# mode (short min-time), and the table benches contribute their printed
-# measurement tables verbatim.
+# summary, BENCH_search.json, at the repository root (schema_version 2,
+# documented in EXPERIMENTS.md). bench_parallel_search runs at full length —
+# it is the scaling result the summary exists for — the fig4 microbench runs
+# in quick mode (short min-time), and the table/branch benches emit
+# structured JSON via their --json flags.
 #
 # Usage: scripts/bench_all.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -15,7 +15,7 @@ QUICK_MIN_TIME="${TURRET_BENCH_MIN_TIME:-0.05}"
 
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target \
   bench_parallel_search bench_fig4_netdevice bench_table2_snapshot \
-  bench_table3_search >/dev/null
+  bench_table3_search bench_branch_snapshot >/dev/null
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
@@ -28,9 +28,11 @@ trap 'rm -rf "$TMP"' EXIT
   --benchmark_min_time="$QUICK_MIN_TIME" \
   --benchmark_format=json >"$TMP/fig4_netdevice.json"
 
-# Custom table reproductions: their stdout *is* the measurement table.
-"$BUILD_DIR/bench/bench_table2_snapshot" >"$TMP/table2_snapshot.txt"
-"$BUILD_DIR/bench/bench_table3_search" >"$TMP/table3_search.txt"
+# Table reproductions and the branch-snapshot mode comparison: structured
+# JSON (schema_version 2 replaced the old raw_text blocks).
+"$BUILD_DIR/bench/bench_table2_snapshot" --json >"$TMP/table2_snapshot.json"
+"$BUILD_DIR/bench/bench_table3_search" --json >"$TMP/table3_search.json"
+"$BUILD_DIR/bench/bench_branch_snapshot" --json >"$TMP/branch_snapshot.json"
 
 python3 - "$TMP" <<'EOF'
 import json, sys, os
@@ -39,11 +41,14 @@ tmp = sys.argv[1]
 def path(name):
     return os.path.join(tmp, name)
 
+def load(name):
+    with open(path(name)) as f:
+        return json.load(f)
+
 with open(path("parallel_search.jsonl")) as f:
     parallel = [json.loads(line) for line in f if line.strip()]
 
-with open(path("fig4_netdevice.json")) as f:
-    fig4 = json.load(f)
+fig4 = load("fig4_netdevice.json")
 fig4_trimmed = {
     "context": {k: fig4.get("context", {}).get(k)
                 for k in ("host_name", "num_cpus", "mhz_per_cpu",
@@ -56,17 +61,14 @@ fig4_trimmed = {
     ],
 }
 
-def table(name):
-    with open(path(name)) as f:
-        return {"raw_text": f.read().splitlines()}
-
 out = {
-    "schema_version": 1,
+    "schema_version": 2,
     "parallel_search": parallel,
     "microbench": {
         "fig4_netdevice": fig4_trimmed,
-        "table2_snapshot": table("table2_snapshot.txt"),
-        "table3_search": table("table3_search.txt"),
+        "table2_snapshot": load("table2_snapshot.json"),
+        "table3_search": load("table3_search.json"),
+        "branch_snapshot": load("branch_snapshot.json"),
     },
 }
 with open("BENCH_search.json", "w") as f:

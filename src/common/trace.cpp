@@ -125,6 +125,12 @@ CounterSnapshot Counters::snapshot() const {
   s.journal_replays = journal_replays.load(std::memory_order_relaxed);
   s.snapshot_saves = snapshot_saves.load(std::memory_order_relaxed);
   s.snapshot_loads = snapshot_loads.load(std::memory_order_relaxed);
+  s.snapshot_bytes_written =
+      snapshot_bytes_written.load(std::memory_order_relaxed);
+  s.snapshot_bytes_deduped =
+      snapshot_bytes_deduped.load(std::memory_order_relaxed);
+  s.cow_page_faults = cow_page_faults.load(std::memory_order_relaxed);
+  s.pagestore_pages = pagestore_pages.load(std::memory_order_relaxed);
   s.discover_ns = discover_ns.load(std::memory_order_relaxed);
   s.evaluate_ns = evaluate_ns.load(std::memory_order_relaxed);
   s.classify_ns = classify_ns.load(std::memory_order_relaxed);
@@ -146,6 +152,10 @@ void Counters::reset() {
   journal_replays.store(0, std::memory_order_relaxed);
   snapshot_saves.store(0, std::memory_order_relaxed);
   snapshot_loads.store(0, std::memory_order_relaxed);
+  snapshot_bytes_written.store(0, std::memory_order_relaxed);
+  snapshot_bytes_deduped.store(0, std::memory_order_relaxed);
+  cow_page_faults.store(0, std::memory_order_relaxed);
+  pagestore_pages.store(0, std::memory_order_relaxed);
   discover_ns.store(0, std::memory_order_relaxed);
   evaluate_ns.store(0, std::memory_order_relaxed);
   classify_ns.store(0, std::memory_order_relaxed);
@@ -233,6 +243,10 @@ std::string Tracer::chrome_json() const {
       {"journal_replays", c.journal_replays},
       {"snapshot_saves", c.snapshot_saves},
       {"snapshot_loads", c.snapshot_loads},
+      {"snapshot_bytes_written", c.snapshot_bytes_written},
+      {"snapshot_bytes_deduped", c.snapshot_bytes_deduped},
+      {"cow_page_faults", c.cow_page_faults},
+      {"pagestore_pages", c.pagestore_pages},
       {"discover_ns", c.discover_ns},
       {"evaluate_ns", c.evaluate_ns},
       {"classify_ns", c.classify_ns},

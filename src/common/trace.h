@@ -59,6 +59,10 @@ struct CounterSnapshot {
   std::uint64_t journal_replays = 0;  ///< branches served from the journal
   std::uint64_t snapshot_saves = 0;
   std::uint64_t snapshot_loads = 0;
+  std::uint64_t snapshot_bytes_written = 0;  ///< blob + new page-store bytes
+  std::uint64_t snapshot_bytes_deduped = 0;  ///< page bytes replaced by refs
+  std::uint64_t cow_page_faults = 0;  ///< pages copied out of adopted bases
+  std::uint64_t pagestore_pages = 0;  ///< occupancy gauge (latest, not a sum)
   std::uint64_t discover_ns = 0;      ///< virtual time per search phase...
   std::uint64_t evaluate_ns = 0;      ///< (one-window branches)
   std::uint64_t classify_ns = 0;      ///< (two-window branches / full runs)
@@ -86,6 +90,10 @@ struct Counters {
   std::atomic<std::uint64_t> journal_replays{0};
   std::atomic<std::uint64_t> snapshot_saves{0};
   std::atomic<std::uint64_t> snapshot_loads{0};
+  std::atomic<std::uint64_t> snapshot_bytes_written{0};
+  std::atomic<std::uint64_t> snapshot_bytes_deduped{0};
+  std::atomic<std::uint64_t> cow_page_faults{0};
+  std::atomic<std::uint64_t> pagestore_pages{0};
   std::atomic<std::uint64_t> discover_ns{0};
   std::atomic<std::uint64_t> evaluate_ns{0};
   std::atomic<std::uint64_t> classify_ns{0};

@@ -23,6 +23,9 @@
 #include "netem/emulator.h"
 #include "runtime/metrics.h"
 #include "vm/machine.h"
+#include "vm/memory.h"
+#include "vm/pagestore.h"
+#include "vm/snapshot.h"
 
 namespace turret::runtime {
 
@@ -31,10 +34,44 @@ namespace turret::runtime {
 using GuestFactory =
     std::function<std::unique_ptr<vm::GuestNode>(NodeId id)>;
 
+/// How this testbed encodes whole-system snapshots (DESIGN.md §5e).
+struct SnapshotPolicy {
+  vm::SnapshotMode mode = vm::SnapshotMode::kPlain;
+  /// Model full OS/app/unique memory images per `profile` (benches; makes
+  /// snapshots Table-II sized). Off: images hold only the heap region — the
+  /// serialized guest state — so dedup works on live protocol state.
+  bool model_memory = false;
+  vm::MemoryProfile profile;
+  /// The content-addressed store cow snapshots intern into. Must be one
+  /// object shared by every testbed of a search (set it in the scenario
+  /// before constructing worlds); a cow testbed without one gets a private
+  /// store, which is fine standalone but useless for branching.
+  std::shared_ptr<vm::PageStore> store;
+};
+
 struct TestbedConfig {
   netem::NetConfig net;
   vm::CpuModel cpu;
   std::uint64_t seed = 1;
+  SnapshotPolicy snapshot;
+};
+
+/// What one save_snapshot() call wrote and what it avoided writing; the
+/// accounting behind the snapshot_bytes_* telemetry counters and the
+/// branch-snapshot bench. pages_written counts page contents physically
+/// written anywhere (blob or page store); pages_deduped counts pages encoded
+/// as references to content written earlier.
+struct SnapshotSaveStats {
+  vm::SnapshotMode mode = vm::SnapshotMode::kPlain;
+  std::uint64_t blob_bytes = 0;
+  std::uint64_t bytes_written = 0;  ///< blob + newly interned page bytes
+  std::uint64_t bytes_deduped = 0;  ///< pages_deduped * kPageSize
+  std::uint32_t pages_total = 0;
+  std::uint32_t pages_written = 0;
+  std::uint32_t pages_deduped = 0;
+  std::uint32_t dirty_pages = 0;    ///< dirty at save entry (delta size)
+  std::uint64_t store_pages = 0;    ///< page-store occupancy after the save
+  std::uint64_t cow_faults = 0;     ///< cumulative across this testbed's images
 };
 
 /// A snapshot blob parsed once into its sections. Branching executes the same
@@ -42,10 +79,18 @@ struct TestbedConfig {
 /// pays a copy of plain data structures (timers, metrics) and a per-section
 /// parse of VM/emulator state instead of re-scanning the whole flat blob.
 /// Immutable after decode_snapshot(), so branches on worker threads may load
-/// from one shared DecodedSnapshot concurrently.
+/// from one shared DecodedSnapshot concurrently. In shared/cow modes the VM
+/// images are exposed as refcounted immutable PageFrames: every branch that
+/// loads this snapshot adopts them copy-on-write instead of memcpy'ing.
 struct DecodedSnapshot {
   bool started = false;
+  vm::SnapshotMode mode = vm::SnapshotMode::kPlain;
+  bool has_images = false;
   std::vector<Bytes> vm_sections;  ///< one VirtualMachine::save payload each
+  /// plain + model_memory: per-VM flat image sections (meta + raw pages).
+  std::vector<Bytes> image_sections;
+  /// shared/cow: per-VM shared immutable frames (adopted by load_snapshot).
+  std::vector<std::shared_ptr<const vm::PageFrames>> frames;
   Bytes emu_section;               ///< netem::Emulator::save payload
   std::map<std::pair<NodeId, std::uint64_t>, std::uint64_t> timers;
   MetricsCollector metrics;
@@ -81,12 +126,23 @@ class Testbed final : public netem::MessageSink {
 
   // --- Execution branching -------------------------------------------------
 
-  /// Serialize the entire system state (network + all VMs + timers + metrics).
+  /// Serialize the entire system state (network + all VMs + timers + metrics)
+  /// in the configured snapshot mode. In shared/cow modes only pages dirtied
+  /// since the previous save are rehashed/interned (delta snapshots).
   Bytes save_snapshot();
 
+  /// Accounting for the most recent save_snapshot() call.
+  const SnapshotSaveStats& last_save_stats() const { return save_stats_; }
+
+  /// The content-addressed store this testbed interns into (null unless cow).
+  const std::shared_ptr<vm::PageStore>& page_store() const { return store_; }
+
   /// Parse a save_snapshot() blob into its sections. Pure function of the
-  /// blob; safe to call from any thread.
-  static DecodedSnapshot decode_snapshot(BytesView snapshot);
+  /// blob and the page store; safe to call from any thread. `store` is
+  /// required to resolve cow blobs (pass the store the saving testbed used)
+  /// and ignored for other modes.
+  static DecodedSnapshot decode_snapshot(BytesView snapshot,
+                                         const vm::PageStore* store = nullptr);
 
   /// Restore a snapshot taken from a testbed with identical config/factory.
   void load_snapshot(BytesView snapshot);
@@ -103,16 +159,40 @@ class Testbed final : public netem::MessageSink {
  private:
   class Ctx;
 
+  /// A page's ref in the store, remembered so clean pages re-reference
+  /// without re-hashing; `valid` distinguishes "never interned" from hash 0.
+  struct CachedRef {
+    vm::PageRef ref;
+    bool valid = false;
+  };
+
   void enqueue_input(NodeId node, vm::GuestInput input);
   void run_handler(NodeId node);
   void guard_guest_call(vm::VirtualMachine& m,
                         const std::function<void()>& call);
+
+  vm::MemoryProfile effective_profile() const;
+  /// Materialize the per-VM memory mirrors on first use, then fold each VM's
+  /// freshly serialized state into its heap (dirtying only changed pages).
+  void sync_images(const std::vector<Bytes>& states);
+  void write_cow_section(serial::Writer& w, std::size_t i);
+  void write_shared_map(serial::Writer& w);
+  void write_shared_section(serial::Writer& w, std::size_t i);
+  void adopt_decoded_images(const DecodedSnapshot& snapshot);
 
   TestbedConfig cfg_;
   GuestFactory factory_;
   netem::Emulator emu_;
   std::vector<std::unique_ptr<vm::VirtualMachine>> vms_;
   MetricsCollector metrics_;
+  /// Snapshot-mode state: per-VM memory mirrors, their cached store refs,
+  /// the incremental KSM index, and the shared page store.
+  std::vector<vm::MemoryImage> images_;
+  std::vector<std::vector<CachedRef>> refs_;
+  vm::KsmIndex ksm_;
+  std::shared_ptr<vm::PageStore> store_;
+  SnapshotSaveStats save_stats_;
+  bool have_images_ = false;
   /// One-shot timer generations: key (node, timer id) → latest generation.
   /// A kTimer event fires only if its generation is still current.
   std::map<std::pair<NodeId, std::uint64_t>, std::uint64_t> timer_gen_;

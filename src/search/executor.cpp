@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/fault.h"
+#include "common/hash.h"
 #include "common/log.h"
 #include "common/trace.h"
 #include "search/journal.h"
@@ -80,6 +81,13 @@ BranchExecutor::BranchExecutor(const Scenario& sc) : sc_(sc) {
   TURRET_CHECK_MSG(sc.schema != nullptr, "scenario needs a wire schema");
   TURRET_CHECK_MSG(sc.factory != nullptr, "scenario needs a guest factory");
   TURRET_CHECK_MSG(!sc.malicious.empty(), "scenario needs malicious nodes");
+  // Every world of a cow search must intern into ONE store, or refs decoded
+  // in one world would dangle in another; require it up front rather than
+  // letting per-testbed private stores fail mysteriously mid-search.
+  TURRET_CHECK_MSG(sc.testbed.snapshot.mode != vm::SnapshotMode::kCow ||
+                       sc.testbed.snapshot.store != nullptr,
+                   "cow snapshot mode requires a shared PageStore in "
+                   "Scenario::testbed.snapshot.store");
 }
 
 ScenarioWorld make_scenario_world(const Scenario& sc) {
@@ -187,24 +195,41 @@ WindowPerf BranchExecutor::benign_performance() {
 const runtime::DecodedSnapshot& BranchExecutor::decoded(
     const InjectionPoint& ip) {
   TURRET_CHECK_MSG(ip.snapshot != nullptr, "injection point has no snapshot");
-  auto it = decoded_cache_.find(ip.snapshot.get());
+  const Bytes& blob = *ip.snapshot;
+  const std::pair<std::uint64_t, std::uint64_t> key{
+      fnv1a(BytesView{blob}), blob.size()};
+  std::vector<DecodedEntry>& chain = decoded_cache_[key];
+  const DecodedEntry* hit = nullptr;
+  for (const DecodedEntry& e : chain) {
+    if (*e.blob == blob) {
+      hit = &e;
+      break;
+    }
+  }
   if (trace::active()) {
-    (it != decoded_cache_.end() ? trace::counters().decode_hits
-                                : trace::counters().decode_misses)
+    (hit != nullptr ? trace::counters().decode_hits
+                    : trace::counters().decode_misses)
         .fetch_add(1, std::memory_order_relaxed);
   }
-  if (it == decoded_cache_.end()) {
+  if (hit == nullptr) {
     // Continuation chains produce a fresh blob per step; keep the cache from
     // growing without bound by dropping everything once it gets large (the
     // working set is the handful of points branched from right now).
-    if (decoded_cache_.size() >= 32) decoded_cache_.clear();
+    if (decoded_cache_entries_ >= 32) {
+      decoded_cache_.clear();
+      decoded_cache_entries_ = 0;
+    }
     DecodedEntry e;
     e.blob = ip.snapshot;
     e.snapshot = std::make_unique<const runtime::DecodedSnapshot>(
-        runtime::Testbed::decode_snapshot(*ip.snapshot));
-    it = decoded_cache_.emplace(ip.snapshot.get(), std::move(e)).first;
+        runtime::Testbed::decode_snapshot(*ip.snapshot,
+                                          sc_.testbed.snapshot.store.get()));
+    std::vector<DecodedEntry>& c = decoded_cache_[key];  // clear() invalidated
+    c.push_back(std::move(e));
+    ++decoded_cache_entries_;
+    hit = &c.back();
   }
-  return *it->second.snapshot;
+  return *hit->snapshot;
 }
 
 ThreadPool& BranchExecutor::pool() {

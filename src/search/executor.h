@@ -222,10 +222,16 @@ class BranchExecutor {
   SearchCost cost_;
 
   struct DecodedEntry {
-    std::shared_ptr<const Bytes> blob;  ///< keeps the cache key address alive
+    std::shared_ptr<const Bytes> blob;  ///< byte-compare settles hash ties
     std::unique_ptr<const runtime::DecodedSnapshot> snapshot;
   };
-  std::map<const Bytes*, DecodedEntry> decoded_cache_;
+  /// Keyed by blob content (fnv1a, length), not blob address: continuation
+  /// chains and journal replays that re-materialize an identical blob at a
+  /// new address still hit. Each key holds a collision chain settled by
+  /// byte comparison.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::vector<DecodedEntry>>
+      decoded_cache_;
+  std::size_t decoded_cache_entries_ = 0;
   std::unique_ptr<ThreadPool> pool_;
   std::vector<FailedBranch> failed_;
   Journal* journal_ = nullptr;

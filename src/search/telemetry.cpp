@@ -54,6 +54,10 @@ std::string TelemetrySnapshot::to_json() const {
   out += ",\"journal_replays\":" + u64(c.journal_replays);
   out += ",\"snapshot_saves\":" + u64(c.snapshot_saves);
   out += ",\"snapshot_loads\":" + u64(c.snapshot_loads);
+  out += ",\"snapshot_bytes_written\":" + u64(c.snapshot_bytes_written);
+  out += ",\"snapshot_bytes_deduped\":" + u64(c.snapshot_bytes_deduped);
+  out += ",\"cow_page_faults\":" + u64(c.cow_page_faults);
+  out += ",\"pagestore_pages\":" + u64(c.pagestore_pages);
   out += ",\"phase_ns\":{";
   out += "\"discover\":" + u64(c.discover_ns);
   out += ",\"evaluate\":" + u64(c.evaluate_ns);

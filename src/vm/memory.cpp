@@ -1,10 +1,12 @@
 #include "vm/memory.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/check.h"
 #include "common/hash.h"
 #include "common/rng.h"
+#include "common/trace.h"
 
 namespace turret::vm {
 namespace {
@@ -29,8 +31,13 @@ void MemoryImage::materialize(const MemoryProfile& profile,
       (guest_state.size() + kPageSize - 1) / kPageSize);
   guest_state_bytes_ = static_cast<std::uint32_t>(guest_state.size());
   const std::size_t total =
-      profile.os_pages + profile.app_pages + heap_pages_ + profile.unique_pages;
+      profile.os_pages + profile.app_pages + profile.unique_pages + heap_pages_;
+  base_.reset();
+  local_.clear();
   data_.assign(total * kPageSize, 0);
+  dirty_.assign(total, true);
+  epoch_ = 0;
+  cow_faults_ = 0;
 
   std::size_t pfn = 0;
   // OS image — same for every VM booted from this profile.
@@ -39,23 +46,150 @@ void MemoryImage::materialize(const MemoryProfile& profile,
   // Application image — also shared.
   for (std::uint32_t i = 0; i < profile.app_pages; ++i, ++pfn)
     fill_page(data_, pfn, profile.boot_seed ^ 0xa9ull);
-  // Heap: the guest's serialized state.
+  // Unique region — differs per VM.
+  for (std::uint32_t i = 0; i < profile.unique_pages; ++i, ++pfn)
+    fill_page(data_, pfn, mix64(vm_uid) ^ (0x1234abcdull + i));
+  // Heap last, so update_heap() can grow it without renumbering any pfn.
   heap_start_pfn_ = static_cast<std::uint32_t>(pfn);
   if (!guest_state.empty()) {
     std::memcpy(data_.data() + pfn * kPageSize, guest_state.data(),
                 guest_state.size());
   }
-  pfn += heap_pages_;
-  // Unique region — differs per VM.
-  for (std::uint32_t i = 0; i < profile.unique_pages; ++i, ++pfn)
-    fill_page(data_, pfn, mix64(vm_uid) ^ (0x1234abcdull + i));
 }
 
 Bytes MemoryImage::extract_guest_state() const {
-  const std::size_t off = static_cast<std::size_t>(heap_start_pfn_) * kPageSize;
-  TURRET_CHECK(off + guest_state_bytes_ <= data_.size());
-  return Bytes(data_.begin() + static_cast<std::ptrdiff_t>(off),
-               data_.begin() + static_cast<std::ptrdiff_t>(off + guest_state_bytes_));
+  TURRET_CHECK(static_cast<std::size_t>(heap_start_pfn_) + heap_pages_ <=
+               page_count());
+  TURRET_CHECK(guest_state_bytes_ <=
+               static_cast<std::uint64_t>(heap_pages_) * kPageSize);
+  Bytes out(guest_state_bytes_);
+  std::size_t copied = 0;
+  for (std::size_t pfn = heap_start_pfn_; copied < out.size(); ++pfn) {
+    const std::size_t n = std::min(kPageSize, out.size() - copied);
+    std::memcpy(out.data() + copied, page(pfn).data(), n);
+    copied += n;
+  }
+  return out;
+}
+
+void MemoryImage::update_heap(BytesView guest_state) {
+  const std::uint32_t needed = static_cast<std::uint32_t>(
+      (guest_state.size() + kPageSize - 1) / kPageSize);
+  if (needed > heap_pages_) {
+    TURRET_CHECK_MSG(
+        static_cast<std::size_t>(heap_start_pfn_) + heap_pages_ ==
+            page_count(),
+        "heap growth requires the heap-last layout");
+    grow_pages(page_count() + (needed - heap_pages_));
+    heap_pages_ = needed;
+  }
+  guest_state_bytes_ = static_cast<std::uint32_t>(guest_state.size());
+
+  Bytes scratch(kPageSize);
+  std::size_t off = 0;
+  for (std::uint32_t p = 0; p < needed; ++p, off += kPageSize) {
+    const std::size_t n = std::min(kPageSize, guest_state.size() - off);
+    const std::uint8_t* expected = guest_state.data() + off;
+    if (n < kPageSize) {
+      // Partial last page: zero-padded, so the tail beyond the state is
+      // deterministic regardless of what was there before.
+      std::memcpy(scratch.data(), expected, n);
+      std::memset(scratch.data() + n, 0, kPageSize - n);
+      expected = scratch.data();
+    }
+    const std::size_t pfn = heap_start_pfn_ + p;
+    if (std::memcmp(page(pfn).data(), expected, kPageSize) != 0) {
+      set_page(pfn, BytesView(expected, kPageSize));
+    }
+  }
+}
+
+void MemoryImage::set_page(std::size_t pfn, BytesView content) {
+  TURRET_CHECK(content.size() == kPageSize);
+  TURRET_CHECK(pfn < page_count());
+  std::memcpy(writable_page(pfn), content.data(), kPageSize);
+  dirty_[pfn] = true;
+}
+
+std::uint8_t* MemoryImage::writable_page(std::size_t pfn) {
+  if (!base_) return data_.data() + pfn * kPageSize;
+  Bytes& local = local_[pfn];
+  if (local.empty()) {
+    // COW fault: first write to a shared page copies it out of the base.
+    local.assign(base_->pages[pfn]->bytes.begin(),
+                 base_->pages[pfn]->bytes.end());
+    ++cow_faults_;
+    if (trace::active()) {
+      trace::counters().cow_page_faults.fetch_add(1,
+                                                  std::memory_order_relaxed);
+    }
+  }
+  return local.data();
+}
+
+void MemoryImage::grow_pages(std::size_t new_count) {
+  const std::size_t old_count = page_count();
+  TURRET_CHECK(new_count >= old_count);
+  if (base_) {
+    local_.resize(new_count);
+    for (std::size_t pfn = old_count; pfn < new_count; ++pfn)
+      local_[pfn].assign(kPageSize, 0);
+  } else {
+    data_.resize(new_count * kPageSize, 0);
+  }
+  dirty_.resize(new_count, true);
+}
+
+const Bytes& MemoryImage::raw() const {
+  TURRET_CHECK_MSG(!base_, "raw() on an adopted image; use flatten()");
+  return data_;
+}
+
+Bytes MemoryImage::flatten() const {
+  if (!base_) return data_;
+  Bytes out(page_count() * kPageSize);
+  for (std::size_t pfn = 0; pfn < page_count(); ++pfn) {
+    std::memcpy(out.data() + pfn * kPageSize, page(pfn).data(), kPageSize);
+  }
+  return out;
+}
+
+void MemoryImage::assign_pages(Bytes data) {
+  TURRET_CHECK(data.size() % kPageSize == 0);
+  base_.reset();
+  local_.clear();
+  data_ = std::move(data);
+  dirty_.assign(data_.size() / kPageSize, true);
+}
+
+void MemoryImage::resize_pages(std::size_t n) {
+  base_.reset();
+  local_.clear();
+  data_.assign(n * kPageSize, 0);
+  dirty_.assign(n, true);
+}
+
+void MemoryImage::adopt(std::shared_ptr<const PageFrames> frames) {
+  TURRET_CHECK(frames != nullptr);
+  base_ = std::move(frames);
+  data_.clear();
+  data_.shrink_to_fit();
+  local_.assign(base_->pages.size(), Bytes{});
+  dirty_.assign(base_->pages.size(), false);
+  heap_start_pfn_ = base_->heap_start_pfn;
+  heap_pages_ = base_->heap_pages;
+  guest_state_bytes_ = base_->state_bytes;
+  cow_faults_ = 0;
+}
+
+std::size_t MemoryImage::dirty_count() const {
+  return static_cast<std::size_t>(
+      std::count(dirty_.begin(), dirty_.end(), true));
+}
+
+void MemoryImage::clear_dirty() {
+  dirty_.assign(page_count(), false);
+  ++epoch_;
 }
 
 void MemoryImage::save_meta(serial::Writer& w) const {
@@ -68,12 +202,6 @@ void MemoryImage::load_meta(serial::Reader& r) {
   heap_start_pfn_ = r.u32();
   heap_pages_ = r.u32();
   guest_state_bytes_ = r.u32();
-}
-
-void MemoryImage::set_page(std::size_t pfn, BytesView content) {
-  TURRET_CHECK(content.size() == kPageSize);
-  TURRET_CHECK(pfn < page_count());
-  std::memcpy(data_.data() + pfn * kPageSize, content.data(), kPageSize);
 }
 
 std::uint64_t MemoryImage::page_hash(std::size_t pfn) const {

@@ -1,0 +1,110 @@
+#include "vm/pagestore.h"
+
+#include <cstring>
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace turret::vm {
+
+const char* snapshot_mode_name(SnapshotMode m) {
+  switch (m) {
+    case SnapshotMode::kPlain:
+      return "plain";
+    case SnapshotMode::kShared:
+      return "shared";
+    case SnapshotMode::kCow:
+      return "cow";
+  }
+  return "?";
+}
+
+std::optional<SnapshotMode> parse_snapshot_mode(std::string_view name) {
+  if (name == "plain") return SnapshotMode::kPlain;
+  if (name == "shared") return SnapshotMode::kShared;
+  if (name == "cow") return SnapshotMode::kCow;
+  return std::nullopt;
+}
+
+PageStore::Interned PageStore::intern(BytesView content) {
+  return intern(content, fnv1a(content));
+}
+
+PageStore::Interned PageStore::intern(BytesView content, std::uint64_t hash) {
+  TURRET_CHECK_MSG(content.size() == kPageSize,
+                   "intern() requires exactly one page");
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.interned;
+  std::vector<PageHandle>& chain = chains_[hash];
+  for (std::size_t slot = 0; slot < chain.size(); ++slot) {
+    if (std::memcmp(chain[slot]->bytes.data(), content.data(), kPageSize) ==
+        0) {
+      ++stats_.dedup_hits;
+      return {PageRef{hash, static_cast<std::uint32_t>(slot)}, false,
+              chain[slot]};
+    }
+    ++stats_.collisions;
+  }
+  auto page = std::make_shared<Page>();
+  std::memcpy(page->bytes.data(), content.data(), kPageSize);
+  chain.push_back(page);
+  ++stats_.stored_pages;
+  return {PageRef{hash, static_cast<std::uint32_t>(chain.size() - 1)}, true,
+          std::move(page)};
+}
+
+PageHandle PageStore::get(const PageRef& ref) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = chains_.find(ref.hash);
+  TURRET_CHECK_MSG(it != chains_.end() && ref.slot < it->second.size(),
+                   "snapshot references a page missing from the page store");
+  return it->second[ref.slot];
+}
+
+bool PageStore::contains(const PageRef& ref) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = chains_.find(ref.hash);
+  return it != chains_.end() && ref.slot < it->second.size();
+}
+
+std::size_t PageStore::evict_unreferenced() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t evicted = 0;
+  for (auto it = chains_.begin(); it != chains_.end();) {
+    std::vector<PageHandle>& chain = it->second;
+    // Only a fully unreferenced *tail* can be dropped: slots are positional
+    // (PageRef names them), so an interior page must stay to keep later slots
+    // valid.
+    while (!chain.empty() && chain.back().use_count() == 1) {
+      chain.pop_back();
+      ++evicted;
+    }
+    if (chain.empty()) {
+      it = chains_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  stats_.stored_pages -= evicted;
+  stats_.evicted += evicted;
+  return evicted;
+}
+
+void PageStore::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.evicted += stats_.stored_pages;
+  stats_.stored_pages = 0;
+  chains_.clear();
+}
+
+std::size_t PageStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<std::size_t>(stats_.stored_pages);
+}
+
+PageStoreStats PageStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace turret::vm

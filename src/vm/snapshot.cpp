@@ -1,5 +1,6 @@
 #include "vm/snapshot.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -107,68 +108,144 @@ void SnapshotManager::load_plain(std::span<MemoryImage*> vms,
     serial::Reader r(blob);
     vms[i]->load_meta(r);
     const std::uint32_t pages = r.u32();
-    vms[i]->raw() = r.bytes();
-    TURRET_CHECK(vms[i]->raw().size() == pages * kPageSize);
+    Bytes data = r.bytes();
+    if (data.size() != static_cast<std::size_t>(pages) * kPageSize) {
+      throw serial::SerialError(
+          "plain snapshot page count/size mismatch: " +
+          std::to_string(pages) + " pages vs " + std::to_string(data.size()) +
+          " bytes");
+    }
+    vms[i]->assign_pages(std::move(data));
   }
 }
 
-void KsmIndex::scan(std::span<const MemoryImage* const> vms) {
-  hashes_.assign(vms.size(), {});
-  shared_flag_.assign(vms.size(), {});
-  canonical_.clear();
+void KsmIndex::insert_page(std::span<const MemoryImage* const> vms,
+                           std::size_t v, std::size_t p) {
+  const std::uint64_t h = vms[v]->page_hash(p);
+  hashes_[v][p] = h;
+  Bucket& b = buckets_[h];
+  if (b.members.empty()) {
+    b.members.push_back({static_cast<std::uint32_t>(v),
+                         static_cast<std::uint32_t>(p)});
+    member_[v][p] = 1;
+    return;
+  }
+  const auto [cv, cp] = b.members.front();
+  if (!pages_equal(vms[cv]->page(cp), vms[v]->page(p))) {
+    // Hash collision with different content: stays private, like KSM's
+    // stable tree which demands byte equality.
+    member_[v][p] = 0;
+    return;
+  }
+  if (cv != v) b.multi_vm = true;
+  b.members.push_back({static_cast<std::uint32_t>(v),
+                       static_cast<std::uint32_t>(p)});
+  member_[v][p] = 1;
+}
 
-  struct HashEntry {
-    std::size_t vm;
-    std::size_t pfn;
-    bool multi_vm = false;
-  };
+void KsmIndex::remove_page(std::size_t v, std::size_t p) {
+  auto it = buckets_.find(hashes_[v][p]);
+  if (it == buckets_.end() || !member_[v][p]) return;
+  Bucket& b = it->second;
+  const std::pair<std::uint32_t, std::uint32_t> key{
+      static_cast<std::uint32_t>(v), static_cast<std::uint32_t>(p)};
+  for (auto m = b.members.begin(); m != b.members.end(); ++m) {
+    if (*m == key) {
+      b.members.erase(m);
+      break;
+    }
+  }
+  member_[v][p] = 0;
+  if (b.members.empty()) {
+    buckets_.erase(it);
+    return;
+  }
+  // Members are pairwise byte-equal, so any survivor is a valid canonical;
+  // recompute multi-VM-ness from what's left.
+  b.multi_vm = false;
+  for (const auto& m : b.members) {
+    if (m.first != b.members.front().first) {
+      b.multi_vm = true;
+      break;
+    }
+  }
+}
+
+void KsmIndex::rebuild_canonical() {
+  canonical_.clear();
+  for (const auto& [h, b] : buckets_) {
+    if (b.multi_vm) {
+      canonical_.push_back({b.members.front().first, b.members.front().second});
+    }
+  }
+  std::sort(canonical_.begin(), canonical_.end());
+}
+
+void KsmIndex::scan(std::span<const MemoryImage* const> vms) {
+  buckets_.clear();
+  hashes_.assign(vms.size(), {});
+  member_.assign(vms.size(), {});
   std::size_t total_pages = 0;
   for (const MemoryImage* img : vms) total_pages += img->page_count();
+  buckets_.reserve(total_pages);
+  for (std::size_t v = 0; v < vms.size(); ++v) {
+    hashes_[v].resize(vms[v]->page_count());
+    member_[v].assign(vms[v]->page_count(), 0);
+    for (std::size_t p = 0; p < vms[v]->page_count(); ++p)
+      insert_page(vms, v, p);
+  }
+  scanned_ = true;
+  rebuild_canonical();
+}
 
-  // First pass: build the content index, remembering for every page which
-  // entry its hash resolved to and whether its bytes equal that entry's
-  // canonical page. unordered_map values are node-stable, so the entry
-  // pointers survive later insertions.
-  std::unordered_map<std::uint64_t, HashEntry> index;
-  index.reserve(total_pages);
-  std::vector<std::vector<const HashEntry*>> entry_of(vms.size());
-  std::vector<std::vector<bool>> matches_canonical(vms.size());
+void KsmIndex::rescan(std::span<const MemoryImage* const> vms) {
+  if (!scanned_ || hashes_.size() != vms.size()) {
+    scan(vms);
+    return;
+  }
   for (std::size_t v = 0; v < vms.size(); ++v) {
-    const MemoryImage& img = *vms[v];
-    hashes_[v].resize(img.page_count());
-    shared_flag_[v].assign(img.page_count(), false);
-    entry_of[v].resize(img.page_count());
-    matches_canonical[v].assign(img.page_count(), false);
-    for (std::size_t p = 0; p < img.page_count(); ++p) {
-      const std::uint64_t h = img.page_hash(p);
-      hashes_[v][p] = h;
-      auto [it, inserted] = index.try_emplace(h, HashEntry{v, p, false});
-      entry_of[v][p] = &it->second;
-      bool eq = inserted;  // the canonical page trivially matches itself
-      if (!inserted) {
-        eq = pages_equal(vms[it->second.vm]->page(it->second.pfn), img.page(p));
-        if (eq && it->second.vm != v) it->second.multi_vm = true;
-      }
-      matches_canonical[v][p] = eq;
+    if (vms[v]->page_count() < hashes_[v].size()) {
+      scan(vms);  // shrink: shape changed, start over
+      return;
     }
   }
-  // Second pass: mark every page whose content is multi-VM shared, reusing
-  // the first pass's compare verdicts instead of re-probing every page.
   for (std::size_t v = 0; v < vms.size(); ++v) {
-    for (std::size_t p = 0; p < hashes_[v].size(); ++p) {
-      if (matches_canonical[v][p] && entry_of[v][p]->multi_vm) {
-        shared_flag_[v][p] = true;
-      }
+    const std::size_t old_count = hashes_[v].size();
+    const std::size_t new_count = vms[v]->page_count();
+    if (new_count > old_count) {
+      hashes_[v].resize(new_count, 0);
+      member_[v].resize(new_count, 0);
+    }
+    for (std::size_t p = 0; p < new_count; ++p) {
+      if (!vms[v]->dirty(p)) continue;
+      if (p < old_count) remove_page(v, p);
+      insert_page(vms, v, p);
     }
   }
-  for (const auto& [h, e] : index) {
-    if (e.multi_vm) canonical_.push_back({e.vm, e.pfn});
+  rebuild_canonical();
+}
+
+bool KsmIndex::is_shared(std::size_t vm, std::size_t pfn) const {
+  if (!scanned_ || vm >= member_.size() || pfn >= member_[vm].size()) {
+    return false;
   }
+  if (!member_[vm][pfn]) return false;
+  auto it = buckets_.find(hashes_[vm][pfn]);
+  return it != buckets_.end() && it->second.multi_vm;
+}
+
+std::uint64_t KsmIndex::page_key(std::size_t vm, std::size_t pfn) const {
+  if (!scanned_ || vm >= hashes_.size() || pfn >= hashes_[vm].size()) {
+    return 0;
+  }
+  return hashes_[vm][pfn];
 }
 
 SaveReport SnapshotManager::save_shared(
     std::span<const MemoryImage* const> vms, const KsmIndex& ksm,
     BlobStore& store, const std::string& prefix) {
+  TURRET_CHECK_MSG(ksm.scanned(),
+                   "save_shared() requires a scanned KsmIndex");
   SaveReport rep;
 
   // Shared page map: each distinct shared page's content written once, keyed
@@ -219,9 +296,15 @@ SaveReport SnapshotManager::save_shared(
 void SnapshotManager::load_shared(std::span<MemoryImage*> vms,
                                   const BlobStore& store,
                                   const std::string& prefix) {
-  // Index the shared page map by hash.
+  // Index the shared page map by hash. Corrupt or truncated blobs must fail
+  // with a clear exception, never read out of bounds.
   const Bytes shared_blob = store.get(prefix + ".shared");
-  TURRET_CHECK(shared_blob.size() % (8 + kPageSize) == 0);
+  if (shared_blob.size() % (8 + kPageSize) != 0) {
+    throw serial::SerialError(
+        "shared page map is truncated or misaligned: " +
+        std::to_string(shared_blob.size()) + " bytes is not a multiple of " +
+        std::to_string(8 + kPageSize));
+  }
   std::unordered_map<std::uint64_t, const std::uint8_t*> shared;
   shared.reserve(shared_blob.size() / (8 + kPageSize));
   for (std::size_t off = 0; off < shared_blob.size(); off += 8 + kPageSize) {
@@ -237,15 +320,29 @@ void SnapshotManager::load_shared(std::span<MemoryImage*> vms,
     const std::uint32_t pages = r.u32();
     vms[v]->resize_pages(pages);
     for (std::uint32_t p = 0; p < pages; ++p) {
-      if (r.u8() == 1) {
+      const std::uint8_t marker = r.u8();
+      if (marker == 1) {
         const std::uint64_t h = r.u64();
         auto it = shared.find(h);
-        TURRET_CHECK_MSG(it != shared.end(),
-                         "snapshot references missing shared page");
+        if (it == shared.end()) {
+          throw serial::SerialError(
+              "snapshot references a page missing from the shared map (vm " +
+              std::to_string(v) + ", pfn " + std::to_string(p) + ")");
+        }
         vms[v]->set_page(p, BytesView(it->second, kPageSize));
-      } else {
+      } else if (marker == 0) {
         vms[v]->set_page(p, r.raw_bytes(kPageSize));
+      } else {
+        throw serial::SerialError("corrupt residual snapshot: bad page marker " +
+                                  std::to_string(marker) + " (vm " +
+                                  std::to_string(v) + ", pfn " +
+                                  std::to_string(p) + ")");
       }
+    }
+    if (!r.exhausted()) {
+      throw serial::SerialError(
+          "residual snapshot for vm " + std::to_string(v) + " has " +
+          std::to_string(r.remaining()) + " trailing bytes");
     }
   }
 }

@@ -69,27 +69,51 @@ struct SaveReport {
 /// more VMs. In the paper KSM merges pages continuously while the VMs run and
 /// the modified KVM merely *queries* it during save (the added interface);
 /// accordingly, scan() is done outside the save path and save_shared()
-/// consults the index in O(1) per page.
+/// consults the index in O(1) per page. rescan() mirrors KSM's continuous
+/// operation: only pages the images report dirty are rehashed, so keeping the
+/// index current between snapshots costs O(dirty), not O(total).
 class KsmIndex {
  public:
-  /// Scan a fleet. Hash collisions are settled by byte comparison; colliding
-  /// but unequal pages stay private (KSM's stable tree demands equality).
+  /// Full scan of a fleet. Hash collisions are settled by byte comparison;
+  /// colliding but unequal pages stay private (KSM's stable tree demands
+  /// equality).
   void scan(std::span<const MemoryImage* const> vms);
 
-  bool is_shared(std::size_t vm, std::size_t pfn) const {
-    return shared_flag_[vm][pfn];
-  }
-  std::uint64_t page_key(std::size_t vm, std::size_t pfn) const {
-    return hashes_[vm][pfn];
-  }
-  /// (vm, pfn) of the canonical copy of every distinct shared page.
+  /// Incremental update: re-index only pages whose dirty bit is set (plus
+  /// any newly grown pages, which start dirty). Falls back to a full scan()
+  /// when the index has never scanned or the fleet shape changed.
+  void rescan(std::span<const MemoryImage* const> vms);
+
+  bool scanned() const { return scanned_; }
+
+  /// Safe before scan() and for out-of-range (vm, pfn): returns false.
+  bool is_shared(std::size_t vm, std::size_t pfn) const;
+  /// Safe before scan() and for out-of-range (vm, pfn): returns 0.
+  std::uint64_t page_key(std::size_t vm, std::size_t pfn) const;
+  /// (vm, pfn) of the canonical copy of every distinct shared page, sorted by
+  /// (vm, pfn) so iteration order is deterministic across runs.
   const std::vector<std::pair<std::size_t, std::size_t>>& canonical() const {
     return canonical_;
   }
 
  private:
+  /// All byte-equal pages with this content; members[0] is canonical.
+  /// Equal-hash but unequal-content pages are not members (they stay
+  /// private). Values are node-stable in the unordered_map.
+  struct Bucket {
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> members;
+    bool multi_vm = false;
+  };
+
+  void insert_page(std::span<const MemoryImage* const> vms, std::size_t v,
+                   std::size_t p);
+  void remove_page(std::size_t v, std::size_t p);
+  void rebuild_canonical();
+
+  bool scanned_ = false;
+  std::unordered_map<std::uint64_t, Bucket> buckets_;
   std::vector<std::vector<std::uint64_t>> hashes_;
-  std::vector<std::vector<bool>> shared_flag_;
+  std::vector<std::vector<std::uint8_t>> member_;  ///< page is in its bucket
   std::vector<std::pair<std::size_t, std::size_t>> canonical_;
 };
 

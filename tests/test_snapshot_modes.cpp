@@ -1,0 +1,382 @@
+// Snapshot modes end to end: testbed save/load round trips in plain, shared
+// and cow modes; delta-save and dedup accounting; decode hardening; and the
+// load-bearing determinism guarantee — a search produces byte-identical
+// results whatever the snapshot encoding, at any worker count.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "runtime/testbed.h"
+#include "search/algorithms.h"
+#include "search/journal.h"
+#include "search/provenance.h"
+#include "systems/pbft/pbft_scenario.h"
+
+namespace turret::search {
+namespace {
+
+using runtime::Testbed;
+using runtime::TestbedConfig;
+
+// --- Testbed round trips ----------------------------------------------------
+
+// A guest that accumulates visible state from traffic and timers, so a bad
+// restore shows up as diverging counters.
+struct PingPong : vm::GuestNode {
+  int msgs = 0;
+  int fires = 0;
+  Bytes log;
+
+  void start(vm::GuestContext& ctx) override {
+    ctx.set_timer(1, 10 * kMillisecond);
+  }
+  void on_message(vm::GuestContext& ctx, NodeId src, BytesView m) override {
+    ++msgs;
+    log.insert(log.end(), m.begin(), m.end());
+    ctx.count("received");
+    if (!m.empty() && m[0] == 'p') ctx.send(src, to_bytes("q"));
+  }
+  void on_timer(vm::GuestContext& ctx, std::uint64_t) override {
+    ++fires;
+    // Keep traffic flowing so state keeps changing between snapshots.
+    ctx.send((ctx.self() + 1) % ctx.cluster_size(), to_bytes("p"));
+    ctx.set_timer(1, 10 * kMillisecond);
+  }
+  void save(serial::Writer& w) const override {
+    w.i32(msgs);
+    w.i32(fires);
+    w.bytes(log);
+  }
+  void load(serial::Reader& r) override {
+    msgs = r.i32();
+    fires = r.i32();
+    log = r.bytes();
+  }
+  std::string_view kind() const override { return "pingpong"; }
+};
+
+TestbedConfig fleet_config(vm::SnapshotMode mode, bool model_memory,
+                           std::shared_ptr<vm::PageStore> store = nullptr) {
+  TestbedConfig cfg;
+  cfg.net.nodes = 3;
+  cfg.net.default_link.delay = kMillisecond;
+  cfg.snapshot.mode = mode;
+  cfg.snapshot.model_memory = model_memory;
+  cfg.snapshot.profile.os_pages = 16;
+  cfg.snapshot.profile.app_pages = 8;
+  cfg.snapshot.profile.unique_pages = 8;
+  cfg.snapshot.store = std::move(store);
+  return cfg;
+}
+
+runtime::GuestFactory pingpong_factory() {
+  return [](NodeId) { return std::make_unique<PingPong>(); };
+}
+
+void expect_same_world(Testbed& a, Testbed& b) {
+  for (NodeId id = 0; id < a.nodes(); ++id) {
+    const auto& ga = dynamic_cast<const PingPong&>(a.machine(id).guest());
+    const auto& gb = dynamic_cast<const PingPong&>(b.machine(id).guest());
+    EXPECT_EQ(ga.msgs, gb.msgs) << "node " << id;
+    EXPECT_EQ(ga.fires, gb.fires) << "node " << id;
+    EXPECT_EQ(ga.log, gb.log) << "node " << id;
+  }
+  EXPECT_EQ(a.now(), b.now());
+  EXPECT_DOUBLE_EQ(a.metrics().total("received", 0, 10 * kSecond),
+                   b.metrics().total("received", 0, 10 * kSecond));
+}
+
+class SnapshotMode : public ::testing::TestWithParam<
+                         std::pair<vm::SnapshotMode, bool>> {};
+
+TEST_P(SnapshotMode, TestbedRoundTripsAndContinuesIdentically) {
+  const auto [mode, model_memory] = GetParam();
+  auto store = mode == vm::SnapshotMode::kCow
+                   ? std::make_shared<vm::PageStore>()
+                   : nullptr;
+  const TestbedConfig cfg = fleet_config(mode, model_memory, store);
+
+  Testbed original(cfg, pingpong_factory());
+  original.start();
+  original.run_for(300 * kMillisecond);
+  const Bytes snap = original.save_snapshot();
+  EXPECT_EQ(original.last_save_stats().mode, mode);
+
+  // The original continues; a fresh testbed restored from the blob must
+  // evolve identically (same virtual clock, same traffic, same state).
+  original.run_for(300 * kMillisecond);
+  Testbed restored(cfg, pingpong_factory());
+  restored.load_snapshot(snap);
+  restored.run_for(300 * kMillisecond);
+  expect_same_world(original, restored);
+
+  // And the restored world snapshots/restores again without loss.
+  const Bytes snap2 = restored.save_snapshot();
+  Testbed again(cfg, pingpong_factory());
+  again.load_snapshot(snap2);
+  again.run_for(100 * kMillisecond);
+  restored.run_for(100 * kMillisecond);
+  expect_same_world(restored, again);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, SnapshotMode,
+    ::testing::Values(std::pair{vm::SnapshotMode::kPlain, false},
+                      std::pair{vm::SnapshotMode::kPlain, true},
+                      std::pair{vm::SnapshotMode::kShared, true},
+                      std::pair{vm::SnapshotMode::kShared, false},
+                      std::pair{vm::SnapshotMode::kCow, true},
+                      std::pair{vm::SnapshotMode::kCow, false}));
+
+// --- Save accounting --------------------------------------------------------
+
+TEST(SnapshotSaveStats, SharedModeWritesFewerBytesThanPlain) {
+  const auto run_and_save = [](vm::SnapshotMode mode) {
+    auto store = mode == vm::SnapshotMode::kCow
+                     ? std::make_shared<vm::PageStore>()
+                     : nullptr;
+    Testbed tb(fleet_config(mode, /*model_memory=*/true, store),
+               pingpong_factory());
+    tb.start();
+    tb.run_for(200 * kMillisecond);
+    tb.save_snapshot();
+    return tb.last_save_stats();
+  };
+  const auto plain = run_and_save(vm::SnapshotMode::kPlain);
+  const auto shared = run_and_save(vm::SnapshotMode::kShared);
+  const auto cow = run_and_save(vm::SnapshotMode::kCow);
+
+  EXPECT_EQ(plain.pages_deduped, 0u);
+  EXPECT_EQ(plain.pages_written, plain.pages_total);
+  // Three VMs share 24 OS/app pages: both optimized modes dedup them even on
+  // a first save.
+  EXPECT_GT(shared.pages_deduped, 0u);
+  EXPECT_LT(shared.bytes_written, plain.bytes_written);
+  EXPECT_GT(cow.pages_deduped, 0u);
+  EXPECT_LT(cow.bytes_written, plain.bytes_written);
+  EXPECT_GT(cow.store_pages, 0u);
+}
+
+TEST(SnapshotSaveStats, CowSecondSaveWritesOnlyDirtyPages) {
+  auto store = std::make_shared<vm::PageStore>();
+  Testbed tb(fleet_config(vm::SnapshotMode::kCow, true, store),
+             pingpong_factory());
+  tb.start();
+  tb.run_for(200 * kMillisecond);
+  tb.save_snapshot();
+  const auto first = tb.last_save_stats();
+  EXPECT_GT(first.pages_written, 0u);
+
+  tb.run_for(50 * kMillisecond);
+  tb.save_snapshot();
+  const auto second = tb.last_save_stats();
+  EXPECT_EQ(second.pages_total, first.pages_total);
+  EXPECT_LT(second.dirty_pages, second.pages_total)
+      << "only the heap changed between saves";
+  EXPECT_LE(second.pages_written, second.dirty_pages)
+      << "clean pages reuse their cached refs; dirty ones may still dedup";
+  EXPECT_LT(second.pages_written, first.pages_written);
+
+  // An identical fleet interning into the same store dedups everything the
+  // first testbed already wrote except its own private progress.
+  Testbed twin(fleet_config(vm::SnapshotMode::kCow, true, store),
+               pingpong_factory());
+  twin.start();
+  twin.run_for(200 * kMillisecond);
+  twin.save_snapshot();
+  EXPECT_LT(twin.last_save_stats().pages_written, first.pages_written)
+      << "cross-testbed dedup through the shared store";
+}
+
+// --- Decode hardening -------------------------------------------------------
+
+TEST(SnapshotDecode, RejectsCorruptBlobs) {
+  Testbed tb(fleet_config(vm::SnapshotMode::kPlain, false),
+             pingpong_factory());
+  tb.start();
+  tb.run_for(100 * kMillisecond);
+  Bytes snap = tb.save_snapshot();
+
+  // Truncation anywhere must throw, never read out of bounds.
+  Bytes truncated(snap.begin(), snap.begin() + snap.size() / 2);
+  EXPECT_THROW(Testbed::decode_snapshot(truncated), serial::SerialError);
+
+  // Byte 1 is the mode; an unknown value is rejected up front.
+  Bytes bad_mode = snap;
+  bad_mode[1] = 7;
+  EXPECT_THROW(Testbed::decode_snapshot(bad_mode), serial::SerialError);
+}
+
+TEST(SnapshotDecode, CowBlobRequiresItsStore) {
+  auto store = std::make_shared<vm::PageStore>();
+  Testbed tb(fleet_config(vm::SnapshotMode::kCow, false, store),
+             pingpong_factory());
+  tb.start();
+  tb.run_for(100 * kMillisecond);
+  const Bytes snap = tb.save_snapshot();
+
+  EXPECT_THROW(Testbed::decode_snapshot(snap, nullptr), std::logic_error);
+  // The wrong (empty) store is detected too: refs resolve to nothing.
+  vm::PageStore other;
+  EXPECT_THROW(Testbed::decode_snapshot(snap, &other), std::logic_error);
+  // The right store decodes fine.
+  EXPECT_NO_THROW(Testbed::decode_snapshot(snap, store.get()));
+}
+
+TEST(SnapshotDecode, SharedBlobWithDamagedMapThrows) {
+  Testbed tb(fleet_config(vm::SnapshotMode::kShared, true),
+             pingpong_factory());
+  tb.start();
+  tb.run_for(100 * kMillisecond);
+  Bytes snap = tb.save_snapshot();
+  // The shared map section starts after started(1) + mode(1) + images(1) +
+  // nvms(4) + its length prefix(4); zero its first page's key so per-VM
+  // references no longer resolve.
+  const std::size_t key_off = 1 + 1 + 1 + 4 + 4;
+  ASSERT_GT(snap.size(), key_off + 8);
+  for (std::size_t i = 0; i < 8; ++i) snap[key_off + i] ^= 0xff;
+  EXPECT_THROW(Testbed::decode_snapshot(snap), serial::SerialError);
+}
+
+// --- Search determinism across modes ---------------------------------------
+
+// The PBFT focus schema from the parallel-search determinism suite: a small
+// action space keeps many whole-search runs affordable.
+constexpr char kFocusSchema[] = R"(
+protocol pbft;
+message Prepare = 3 {
+  u32   view;
+  u64   seq;
+  u32   replica;
+  bytes digest;
+}
+message Status = 7 {
+  u32   view;
+  u32   replica;
+  u64   last_exec;
+  u64   stable_seq;
+  i32   n_pending;
+}
+)";
+
+const wire::Schema& focus_schema() {
+  static const wire::Schema s = wire::parse_schema(kFocusSchema);
+  return s;
+}
+
+Scenario pbft_scenario(vm::SnapshotMode mode) {
+  Scenario sc = systems::pbft::make_pbft_scenario();
+  sc.schema = &focus_schema();
+  sc.warmup = 2 * kSecond;
+  sc.duration = 8 * kSecond;
+  sc.window = 2 * kSecond;
+  sc.actions.drop_probabilities = {1.0};
+  sc.actions.delays = {kSecond};
+  sc.actions.duplicate_counts = {2};
+  sc.actions.divert = false;
+  sc.actions.lie_random = false;
+  sc.actions.relative_operands = {1000};
+  sc.testbed.snapshot.mode = mode;
+  if (mode == vm::SnapshotMode::kCow)
+    sc.testbed.snapshot.store = std::make_shared<vm::PageStore>();
+  return sc;
+}
+
+void expect_identical(const SearchResult& a, const SearchResult& b) {
+  EXPECT_EQ(a.algorithm, b.algorithm);
+  EXPECT_DOUBLE_EQ(a.baseline_performance, b.baseline_performance);
+  EXPECT_EQ(a.cost.execution, b.cost.execution);
+  EXPECT_EQ(a.cost.snapshots, b.cost.snapshots);
+  EXPECT_EQ(a.cost.branches, b.cost.branches);
+  EXPECT_EQ(a.cost.saves, b.cost.saves);
+  EXPECT_EQ(a.cost.loads, b.cost.loads);
+  ASSERT_EQ(a.attacks.size(), b.attacks.size());
+  for (std::size_t i = 0; i < a.attacks.size(); ++i) {
+    const AttackReport& x = a.attacks[i];
+    const AttackReport& y = b.attacks[i];
+    EXPECT_EQ(x.action.describe(), y.action.describe()) << "attack " << i;
+    EXPECT_EQ(x.effect, y.effect) << "attack " << i;
+    EXPECT_DOUBLE_EQ(x.attacked_performance, y.attacked_performance);
+    EXPECT_DOUBLE_EQ(x.damage, y.damage) << "attack " << i;
+    EXPECT_EQ(x.crashed_nodes, y.crashed_nodes) << "attack " << i;
+    EXPECT_EQ(x.injection_time, y.injection_time) << "attack " << i;
+    EXPECT_EQ(x.found_after, y.found_after) << "attack " << i;
+  }
+}
+
+TEST(SnapshotModeDeterminism, SearchResultIdenticalAcrossModesAndJobs) {
+  SearchResult reference;
+  bool have_reference = false;
+  for (const auto mode :
+       {vm::SnapshotMode::kPlain, vm::SnapshotMode::kShared,
+        vm::SnapshotMode::kCow}) {
+    for (const unsigned jobs : {1u, 4u}) {
+      const Scenario sc = pbft_scenario(mode);
+      set_default_jobs(jobs);
+      const SearchResult res = weighted_greedy_search(sc);
+      set_default_jobs(0);
+      if (!have_reference) {
+        EXPECT_FALSE(res.attacks.empty())
+            << "no attacks found; determinism check would be vacuous";
+        reference = res;
+        have_reference = true;
+      } else {
+        SCOPED_TRACE(std::string("mode=") + vm::snapshot_mode_name(mode) +
+                     " jobs=" + std::to_string(jobs));
+        expect_identical(reference, res);
+      }
+    }
+  }
+}
+
+std::string tmp_path(const std::string& stem) {
+  return ::testing::TempDir() + "turret_snapmode_" + stem + ".journal";
+}
+
+TEST(SnapshotModeDeterminism, CowJournalResumeMatchesPlainLive) {
+  const std::string path = tmp_path("cow");
+  set_default_jobs(1);
+  SearchResult plain_live = weighted_greedy_search(
+      pbft_scenario(vm::SnapshotMode::kPlain));
+
+  SearchResult cow_live;
+  {
+    auto j = Journal::open(path, false);
+    cow_live = weighted_greedy_search(pbft_scenario(vm::SnapshotMode::kCow),
+                                      {}, nullptr, j.get());
+    EXPECT_GT(j->appended(), 0u);
+  }
+  SearchResult cow_resumed;
+  {
+    auto j = Journal::open(path, true);
+    cow_resumed = weighted_greedy_search(
+        pbft_scenario(vm::SnapshotMode::kCow), {}, nullptr, j.get());
+    EXPECT_EQ(j->appended(), 0u) << "complete journal: nothing re-executes";
+  }
+  set_default_jobs(0);
+  expect_identical(plain_live, cow_live);
+  expect_identical(cow_live, cow_resumed);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotModeDeterminism, ProvenanceJsonByteIdenticalPlainVsCow) {
+  const auto provenance_of = [](vm::SnapshotMode mode, unsigned jobs) {
+    Scenario sc = pbft_scenario(mode);
+    sc.testbed.net.capture.enabled = true;
+    set_default_jobs(jobs);
+    ProvenanceStore store;
+    const SearchResult res =
+        weighted_greedy_search(sc, {}, nullptr, nullptr, &store);
+    set_default_jobs(0);
+    return provenance_json(sc, res, store);
+  };
+  const std::string plain1 = provenance_of(vm::SnapshotMode::kPlain, 1);
+  const std::string cow1 = provenance_of(vm::SnapshotMode::kCow, 1);
+  const std::string cow4 = provenance_of(vm::SnapshotMode::kCow, 4);
+  EXPECT_EQ(plain1, cow1);
+  EXPECT_EQ(plain1, cow4);
+  EXPECT_NE(plain1.find("\"provenance\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace turret::search
