@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # Runs the search-layer benchmark suite and writes a single machine-readable
-# summary, BENCH_search.json, at the repository root (schema_version 2,
-# documented in EXPERIMENTS.md). bench_parallel_search runs at full length —
-# it is the scaling result the summary exists for — the fig4 microbench runs
-# in quick mode (short min-time), and the table/branch benches emit
-# structured JSON via their --json flags.
+# summary, BENCH_search.json, at the repository root (schema_version 3,
+# documented in EXPERIMENTS.md). bench_parallel_search and bench_prune_search
+# run at full length — the scaling and pruning results the summary exists
+# for — the fig4 microbench runs in quick mode (short min-time), and the
+# table/branch benches emit structured JSON via their --json flags.
 #
 # Usage: scripts/bench_all.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -14,14 +14,17 @@ BUILD_DIR="${1:-build}"
 QUICK_MIN_TIME="${TURRET_BENCH_MIN_TIME:-0.05}"
 
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target \
-  bench_parallel_search bench_fig4_netdevice bench_table2_snapshot \
-  bench_table3_search bench_branch_snapshot >/dev/null
+  bench_parallel_search bench_prune_search bench_fig4_netdevice \
+  bench_table2_snapshot bench_table3_search bench_branch_snapshot >/dev/null
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
 # JSON Lines, one object per {system, algorithm} pair.
 "$BUILD_DIR/bench/bench_parallel_search" >"$TMP/parallel_search.jsonl"
+
+# Branch-equivalence pruning: prune off vs on per algorithm (JSON Lines).
+"$BUILD_DIR/bench/bench_prune_search" >"$TMP/prune_search.jsonl"
 
 # Google Benchmark binary: quick mode + native JSON output.
 "$BUILD_DIR/bench/bench_fig4_netdevice" \
@@ -48,6 +51,9 @@ def load(name):
 with open(path("parallel_search.jsonl")) as f:
     parallel = [json.loads(line) for line in f if line.strip()]
 
+with open(path("prune_search.jsonl")) as f:
+    prune = [json.loads(line) for line in f if line.strip()]
+
 fig4 = load("fig4_netdevice.json")
 fig4_trimmed = {
     "context": {k: fig4.get("context", {}).get(k)
@@ -62,8 +68,9 @@ fig4_trimmed = {
 }
 
 out = {
-    "schema_version": 2,
+    "schema_version": 3,
     "parallel_search": parallel,
+    "prune": prune,
     "microbench": {
         "fig4_netdevice": fig4_trimmed,
         "table2_snapshot": load("table2_snapshot.json"),

@@ -15,6 +15,6 @@ cmake --build "$BUILD_DIR" --target turret_tests -j "$(nproc)"
 # halt_on_error so a race fails the script, not just prints a report.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$BUILD_DIR/tests/turret_tests" \
-  --gtest_filter='ThreadPool.*:Trace.*:Telemetry.*:ParallelSearchDeterminism.*:Executor.*:Greedy.*:WeightedGreedy.*:BruteForce.*:FaultSpec.*:FaultInjectorTest.*:FaultTolerance.*:FaultAcceptance.*:Journal.*:JournalResume.*:Capture.*:FlightRecorder.*:Audit.*:AuditLog.*:Provenance.*:PageStore.*:MemoryImageDirty.*:MemoryImageCow.*:KsmIndex.*:SnapshotErrors.*:*SnapshotMode.*:SnapshotSaveStats.*:SnapshotDecode.*:SnapshotModeDeterminism.*'
+  --gtest_filter='ThreadPool.*:Trace.*:Telemetry.*:ParallelSearchDeterminism.*:PruneDeterminism.*:Hash.*:Executor.*:Greedy.*:WeightedGreedy.*:BruteForce.*:FaultSpec.*:FaultInjectorTest.*:FaultTolerance.*:FaultAcceptance.*:Journal.*:JournalResume.*:Capture.*:FlightRecorder.*:Audit.*:AuditLog.*:Provenance.*:PageStore.*:MemoryImageDirty.*:MemoryImageCow.*:KsmIndex.*:SnapshotErrors.*:*SnapshotMode.*:SnapshotSaveStats.*:SnapshotDecode.*:SnapshotModeDeterminism.*'
 
 echo "TSan check passed."

@@ -33,4 +33,40 @@ std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
   return mix64(a ^ (b + 0x9e3779b97f4a7c15ull + (a << 6) + (a >> 2)));
 }
 
+void Hasher128::update(BytesView data) {
+  std::uint64_t word = 0;
+  std::size_t in_word = 0;
+  for (std::uint8_t b : data) {
+    fnv_ ^= b;
+    fnv_ *= 0x100000001b3ull;
+    word = (word << 8) | b;
+    if (++in_word == 8) {
+      mix_ = mix64(mix_ ^ word);
+      word = 0;
+      in_word = 0;
+    }
+  }
+  // Tag the tail with its length so "abc" and "abc\0" stay distinct.
+  if (in_word > 0) mix_ = mix64(mix_ ^ word ^ (in_word << 56));
+  len_ += data.size();
+}
+
+void Hasher128::update(std::string_view s) {
+  update(BytesView(reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+}
+
+void Hasher128::update_u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    fnv_ ^= (v >> (i * 8)) & 0xff;
+    fnv_ *= 0x100000001b3ull;
+  }
+  mix_ = mix64(mix_ ^ v);
+  len_ += 8;
+}
+
+Digest128 Hasher128::digest() const {
+  // Finalize with the length so prefixes of a stream never collide with it.
+  return Digest128{mix64(fnv_ ^ len_), mix64(mix_ + len_)};
+}
+
 }  // namespace turret

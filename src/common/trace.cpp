@@ -131,6 +131,16 @@ CounterSnapshot Counters::snapshot() const {
       snapshot_bytes_deduped.load(std::memory_order_relaxed);
   s.cow_page_faults = cow_page_faults.load(std::memory_order_relaxed);
   s.pagestore_pages = pagestore_pages.load(std::memory_order_relaxed);
+  s.pagestore_bytes = pagestore_bytes.load(std::memory_order_relaxed);
+  s.pagestore_evicted = pagestore_evicted.load(std::memory_order_relaxed);
+  s.branches_pruned = branches_pruned.load(std::memory_order_relaxed);
+  s.prune_table_entries =
+      prune_table_entries.load(std::memory_order_relaxed);
+  s.fingerprints = fingerprints.load(std::memory_order_relaxed);
+  s.prune_settle_ns = prune_settle_ns.load(std::memory_order_relaxed);
+  s.prune_skipped_ns = prune_skipped_ns.load(std::memory_order_relaxed);
+  s.hash_collisions = hash_collisions.load(std::memory_order_relaxed);
+  s.hash_chain_max = hash_chain_max.load(std::memory_order_relaxed);
   s.discover_ns = discover_ns.load(std::memory_order_relaxed);
   s.evaluate_ns = evaluate_ns.load(std::memory_order_relaxed);
   s.classify_ns = classify_ns.load(std::memory_order_relaxed);
@@ -156,6 +166,15 @@ void Counters::reset() {
   snapshot_bytes_deduped.store(0, std::memory_order_relaxed);
   cow_page_faults.store(0, std::memory_order_relaxed);
   pagestore_pages.store(0, std::memory_order_relaxed);
+  pagestore_bytes.store(0, std::memory_order_relaxed);
+  pagestore_evicted.store(0, std::memory_order_relaxed);
+  branches_pruned.store(0, std::memory_order_relaxed);
+  prune_table_entries.store(0, std::memory_order_relaxed);
+  fingerprints.store(0, std::memory_order_relaxed);
+  prune_settle_ns.store(0, std::memory_order_relaxed);
+  prune_skipped_ns.store(0, std::memory_order_relaxed);
+  hash_collisions.store(0, std::memory_order_relaxed);
+  hash_chain_max.store(0, std::memory_order_relaxed);
   discover_ns.store(0, std::memory_order_relaxed);
   evaluate_ns.store(0, std::memory_order_relaxed);
   classify_ns.store(0, std::memory_order_relaxed);
@@ -247,6 +266,15 @@ std::string Tracer::chrome_json() const {
       {"snapshot_bytes_deduped", c.snapshot_bytes_deduped},
       {"cow_page_faults", c.cow_page_faults},
       {"pagestore_pages", c.pagestore_pages},
+      {"pagestore_bytes", c.pagestore_bytes},
+      {"pagestore_evicted", c.pagestore_evicted},
+      {"branches_pruned", c.branches_pruned},
+      {"prune_table_entries", c.prune_table_entries},
+      {"fingerprints", c.fingerprints},
+      {"prune_settle_ns", c.prune_settle_ns},
+      {"prune_skipped_ns", c.prune_skipped_ns},
+      {"hash_collisions", c.hash_collisions},
+      {"hash_chain_max", c.hash_chain_max},
       {"discover_ns", c.discover_ns},
       {"evaluate_ns", c.evaluate_ns},
       {"classify_ns", c.classify_ns},

@@ -63,6 +63,15 @@ struct CounterSnapshot {
   std::uint64_t snapshot_bytes_deduped = 0;  ///< page bytes replaced by refs
   std::uint64_t cow_page_faults = 0;  ///< pages copied out of adopted bases
   std::uint64_t pagestore_pages = 0;  ///< occupancy gauge (latest, not a sum)
+  std::uint64_t pagestore_bytes = 0;  ///< occupancy gauge (latest, not a sum)
+  std::uint64_t pagestore_evicted = 0;  ///< pages reclaimed between scans
+  std::uint64_t branches_pruned = 0;  ///< branches served by the prune table
+  std::uint64_t prune_table_entries = 0;  ///< gauge: canonical fingerprints
+  std::uint64_t fingerprints = 0;     ///< fleet fingerprints computed
+  std::uint64_t prune_settle_ns = 0;  ///< virtual time run to the settle point
+  std::uint64_t prune_skipped_ns = 0; ///< virtual time pruning avoided
+  std::uint64_t hash_collisions = 0;  ///< digest matches settled by bytes
+  std::uint64_t hash_chain_max = 0;   ///< gauge: longest collision chain seen
   std::uint64_t discover_ns = 0;      ///< virtual time per search phase...
   std::uint64_t evaluate_ns = 0;      ///< (one-window branches)
   std::uint64_t classify_ns = 0;      ///< (two-window branches / full runs)
@@ -94,6 +103,15 @@ struct Counters {
   std::atomic<std::uint64_t> snapshot_bytes_deduped{0};
   std::atomic<std::uint64_t> cow_page_faults{0};
   std::atomic<std::uint64_t> pagestore_pages{0};
+  std::atomic<std::uint64_t> pagestore_bytes{0};
+  std::atomic<std::uint64_t> pagestore_evicted{0};
+  std::atomic<std::uint64_t> branches_pruned{0};
+  std::atomic<std::uint64_t> prune_table_entries{0};
+  std::atomic<std::uint64_t> fingerprints{0};
+  std::atomic<std::uint64_t> prune_settle_ns{0};
+  std::atomic<std::uint64_t> prune_skipped_ns{0};
+  std::atomic<std::uint64_t> hash_collisions{0};
+  std::atomic<std::uint64_t> hash_chain_max{0};
   std::atomic<std::uint64_t> discover_ns{0};
   std::atomic<std::uint64_t> evaluate_ns{0};
   std::atomic<std::uint64_t> classify_ns{0};

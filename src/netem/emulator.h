@@ -21,6 +21,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/rng.h"
 #include "common/types.h"
 #include "netem/capture.h"
@@ -181,6 +182,17 @@ class Emulator {
   /// Restore a state previously produced by save() on an emulator with the
   /// same NetConfig.
   void load(serial::Reader& r);
+
+  /// Fold the network's *behavioral* state into `h`: every pending event
+  /// that can still dispatch at or before `horizon`, in dispatch order, plus
+  /// reassembly buffers, link occupancy, device state, and (when some link
+  /// is lossy) the loss RNG. Absolute counters that differ between
+  /// behaviorally identical branches — event seq numbers, msg_id allocation
+  /// — are canonicalized: order stands in for seq, and msg_ids are
+  /// renumbered densely by first appearance. Statistics, the flight
+  /// recorder, and interceptor state are observability, not behavior, and
+  /// are excluded. Used by the branch-equivalence prune key.
+  void fingerprint(Hasher128& h, Time horizon) const;
 
   const EmulatorStats& stats() const { return stats_; }
   const NetDevice& device(NodeId node) const { return *devices_.at(node); }

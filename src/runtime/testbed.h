@@ -19,6 +19,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/types.h"
 #include "netem/emulator.h"
 #include "runtime/metrics.h"
@@ -134,6 +135,27 @@ class Testbed final : public netem::MessageSink {
   /// Accounting for the most recent save_snapshot() call.
   const SnapshotSaveStats& last_save_stats() const { return save_stats_; }
 
+  /// Cow mode: the store pages referenced by the most recent save_snapshot()
+  /// blob. A non-decoded blob references its pages only through the store,
+  /// so callers that keep the blob across PageStore::evict_unreferenced()
+  /// must hold this pin alongside it. Null in other modes.
+  const std::shared_ptr<const std::vector<vm::PageHandle>>& last_save_pages()
+      const {
+    return last_save_pages_;
+  }
+
+  /// Deterministic digest of the fleet's *behavioral* state: a merkle-style
+  /// fold of every VM's state (per-page content hashes when images are
+  /// modeled, reusing cached PageStore keys so clean pages cost zero
+  /// rehashing; raw serialized state otherwise), the emulator's pending
+  /// events up to `horizon` (canonicalized, see Emulator::fingerprint),
+  /// timer generations, and metric samples from `from_time` on (earlier
+  /// samples are shared snapshot history; later ones feed the branch's
+  /// window measurements). Freezes and resumes the world around the walk;
+  /// execution is undisturbed. Interceptor (proxy) state is NOT included —
+  /// the caller folds its canonical residual separately.
+  Digest128 fleet_fingerprint(Time from_time, Time horizon);
+
   /// The content-addressed store this testbed interns into (null unless cow).
   const std::shared_ptr<vm::PageStore>& page_store() const { return store_; }
 
@@ -192,6 +214,8 @@ class Testbed final : public netem::MessageSink {
   vm::KsmIndex ksm_;
   std::shared_ptr<vm::PageStore> store_;
   SnapshotSaveStats save_stats_;
+  std::shared_ptr<const std::vector<vm::PageHandle>> last_save_pages_;
+  std::vector<vm::PageHandle> pin_accum_;  ///< built during a cow save
   bool have_images_ = false;
   /// One-shot timer generations: key (node, timer id) → latest generation.
   /// A kTimer event fires only if its generation is still current.

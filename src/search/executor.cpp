@@ -40,6 +40,15 @@ Bytes encode_branch_result(const BranchExecutor::BranchResult& r) {
     });
     w.u32(r.outcome->new_crashes);
   }
+  // v2 trailer: prune bookkeeping. Decoders treat its absence as "not
+  // pruned", so journals written before pruning existed still replay.
+  w.boolean(r.pruned);
+  w.str(r.equivalent_to);
+  w.boolean(r.fingerprint.has_value());
+  if (r.fingerprint) {
+    w.u64(r.fingerprint->hi);
+    w.u64(r.fingerprint->lo);
+  }
   return w.take();
 }
 
@@ -59,6 +68,16 @@ BranchExecutor::BranchResult decode_branch_result(BytesView payload) {
     });
     o.new_crashes = r.u32();
     out.outcome = std::move(o);
+  }
+  if (!r.exhausted()) {  // v2 trailer (absent in v1 records)
+    out.pruned = r.boolean();
+    out.equivalent_to = r.str();
+    if (r.boolean()) {
+      Digest128 d;
+      d.hi = r.u64();
+      d.lo = r.u64();
+      out.fingerprint = d;
+    }
   }
   TURRET_CHECK_MSG(r.exhausted(), "trailing bytes in journal record");
   return out;
@@ -156,6 +175,7 @@ const std::vector<BranchExecutor::InjectionPoint>& BranchExecutor::discover() {
         ip.message_name = spec->name;
         ip.time = w.testbed->now();
         ip.snapshot = shared;
+        ip.pages = w.testbed->last_save_pages();
         points_->push_back(std::move(ip));
         TLOG_INFO("injection point: %s at %s", spec->name.c_str(),
                   format_time(w.testbed->now()).c_str());
@@ -196,8 +216,9 @@ const runtime::DecodedSnapshot& BranchExecutor::decoded(
     const InjectionPoint& ip) {
   TURRET_CHECK_MSG(ip.snapshot != nullptr, "injection point has no snapshot");
   const Bytes& blob = *ip.snapshot;
-  const std::pair<std::uint64_t, std::uint64_t> key{
-      fnv1a(BytesView{blob}), blob.size()};
+  Hasher128 hasher;
+  hasher.update(BytesView{blob});
+  const Digest128 key = hasher.digest();
   std::vector<DecodedEntry>& chain = decoded_cache_[key];
   const DecodedEntry* hit = nullptr;
   for (const DecodedEntry& e : chain) {
@@ -228,6 +249,18 @@ const runtime::DecodedSnapshot& BranchExecutor::decoded(
     c.push_back(std::move(e));
     ++decoded_cache_entries_;
     hit = &c.back();
+    if (c.size() > 1 && trace::active()) {
+      // Two distinct blobs under one 128-bit digest: the byte-compare chain
+      // backstop caught a hash collision. Surface it so silent weakening of
+      // the digest would show up in --json stats.
+      trace::Counters& tc = trace::counters();
+      tc.hash_collisions.fetch_add(1, std::memory_order_relaxed);
+      std::uint64_t prev =
+          tc.hash_chain_max.load(std::memory_order_relaxed);
+      while (prev < c.size() && !tc.hash_chain_max.compare_exchange_weak(
+                                    prev, c.size(), std::memory_order_relaxed))
+        ;
+    }
   }
   return *hit->snapshot;
 }
@@ -403,6 +436,12 @@ std::vector<BranchExecutor::BranchResult> BranchExecutor::run_branches(
       if (auto rec = journal_->replay(branch_key(ip, actions[i], windows))) {
         out[i] = decode_branch_result(*rec);
         replayed[i] = true;
+        // A replayed canonical record carries its fingerprint: re-seed the
+        // prune table so branches the interrupted run never reached make the
+        // same prune decisions the uninterrupted run would have.
+        if (sc_.prune.enabled && out[i].fingerprint) {
+          seed_prune_entry(branch_key(ip, actions[i], windows), out[i]);
+        }
         if (trace::active()) {
           trace::counters().journal_replays.fetch_add(
               1, std::memory_order_relaxed);
@@ -425,6 +464,8 @@ std::vector<BranchExecutor::BranchResult> BranchExecutor::run_branches(
       // The injection point's snapshot is unusable: every pending branch
       // inherits the decode failure as its quarantine record.
       for (const std::size_t i : live) out[i] = decode_failure;
+    } else if (sc_.prune.enabled) {
+      run_pruned(*snap, ip, actions, windows, live, out);
     } else if (live.size() <= 1 || default_jobs() <= 1) {
       for (const std::size_t i : live) {
         out[i] = attempt_branch(*snap, ip, actions[i], windows);
@@ -469,12 +510,258 @@ std::vector<BranchExecutor::BranchResult> BranchExecutor::run_branches(
         out[i].outcome->provenance != nullptr) {
       provenance_->add(out[i].outcome->provenance);
     }
+    // A pruned branch harvested nothing; its equivalent-to link makes the
+    // canonical branch's provenance answer for it in reports.
+    if (provenance_ != nullptr && out[i].pruned &&
+        !out[i].equivalent_to.empty()) {
+      provenance_->add_alias(branch_key(ip, actions[i], windows),
+                             out[i].equivalent_to);
+    }
     if (journal_ != nullptr && !replayed[i]) {
       journal_->append(branch_key(ip, actions[i], windows),
                        encode_branch_result(out[i]));
     }
   }
   return out;
+}
+
+void BranchExecutor::run_pruned(
+    const runtime::DecodedSnapshot& snap, const InjectionPoint& ip,
+    const std::vector<const proxy::MaliciousAction*>& actions, int windows,
+    const std::vector<std::size_t>& live, std::vector<BranchResult>& out) {
+  // Phase 1: settle + fingerprint every live branch. Each settle world is
+  // torn down right after fingerprinting, so memory stays bounded by the
+  // worker count, not the batch size.
+  std::vector<std::optional<Digest128>> digests(actions.size());
+  if (live.size() <= 1 || default_jobs() <= 1) {
+    for (const std::size_t i : live) {
+      digests[i] = fingerprint_branch(snap, ip, actions[i], windows);
+    }
+  } else {
+    ThreadPool& workers = pool();
+    std::vector<std::future<std::optional<Digest128>>> futures;
+    futures.reserve(live.size());
+    for (const std::size_t i : live) {
+      const proxy::MaliciousAction* action = actions[i];
+      futures.push_back(workers.submit([this, &snap, &ip, action, windows] {
+        return fingerprint_branch(snap, ip, action, windows);
+      }));
+    }
+    std::vector<std::string> errors;
+    for (std::size_t k = 0; k < futures.size(); ++k) {
+      try {
+        digests[live[k]] = futures[k].get();
+      } catch (const std::exception& e) {
+        errors.push_back(e.what());
+      } catch (...) {
+        errors.push_back("unknown error");
+      }
+    }
+    if (!errors.empty()) throw AggregateBranchError(errors);
+  }
+
+  // Phase 2: first-writer-wins claims, serially in INPUT order — this, not
+  // the mutex, is what makes the canonical/follower split (and therefore the
+  // whole result) identical at any --jobs. A branch whose settle run failed
+  // (no digest) just executes live.
+  struct Follower {
+    std::size_t index;
+    Digest128 digest;
+  };
+  std::vector<std::size_t> canonical;
+  std::vector<Follower> followers;
+  canonical.reserve(live.size());
+  for (const std::size_t i : live) {
+    if (!digests[i]) {
+      canonical.push_back(i);
+      continue;
+    }
+    if (claim_prune_entry(*digests[i], branch_key(ip, actions[i], windows))) {
+      canonical.push_back(i);
+    } else {
+      followers.push_back({i, *digests[i]});
+    }
+  }
+
+  // Phase 3: execute canonical branches (the only guest execution past the
+  // settle horizon) and complete their table entries.
+  if (canonical.size() <= 1 || default_jobs() <= 1) {
+    for (const std::size_t i : canonical) {
+      out[i] = attempt_branch(snap, ip, actions[i], windows);
+    }
+  } else {
+    ThreadPool& workers = pool();
+    std::vector<std::future<BranchResult>> futures;
+    futures.reserve(canonical.size());
+    for (const std::size_t i : canonical) {
+      const proxy::MaliciousAction* action = actions[i];
+      futures.push_back(workers.submit([this, &snap, &ip, action, windows] {
+        return attempt_branch(snap, ip, action, windows);
+      }));
+    }
+    std::vector<std::string> errors;
+    for (std::size_t k = 0; k < futures.size(); ++k) {
+      try {
+        out[canonical[k]] = futures[k].get();
+      } catch (const std::exception& e) {
+        errors.push_back(e.what());
+      } catch (...) {
+        errors.push_back("unknown error");
+      }
+    }
+    if (!errors.empty()) throw AggregateBranchError(errors);
+  }
+  for (const std::size_t i : canonical) {
+    if (digests[i]) {
+      out[i].fingerprint = *digests[i];
+      record_prune_result(*digests[i], out[i]);
+    }
+  }
+
+  // Followers inherit the canonical outcome. The inherited attempts/error
+  // equal what the follower's own execution would have produced (the states
+  // are equivalent and the platform deterministic), so SearchCost charges —
+  // applied by the caller from these fields — match the prune-off run.
+  for (const Follower& f : followers) {
+    const PruneEntry* e = find_prune_entry(f.digest);
+    TURRET_CHECK_MSG(e != nullptr, "follower without a completed prune entry");
+    BranchResult r;
+    r.attempts = e->result.attempts;
+    r.error = e->result.error;
+    if (e->result.outcome) {
+      BranchOutcome o;
+      o.windows = e->result.outcome->windows;
+      o.new_crashes = e->result.outcome->new_crashes;
+      r.outcome = std::move(o);
+    }
+    r.pruned = true;
+    r.equivalent_to = e->canonical_key;
+    out[f.index] = std::move(r);
+    if (trace::active()) {
+      trace::Counters& c = trace::counters();
+      c.branches_pruned.fetch_add(1, std::memory_order_relaxed);
+      const Duration skipped =
+          static_cast<Duration>(windows) * sc_.window - sc_.prune.settle;
+      if (skipped > 0) {
+        c.prune_skipped_ns.fetch_add(static_cast<std::uint64_t>(skipped),
+                                     std::memory_order_relaxed);
+      }
+      trace::instant(
+          "search", "prune", ip.time,
+          trace::Args()
+              .add("message", ip.message_name)
+              .add("action", actions[f.index] != nullptr
+                                 ? actions[f.index]->describe()
+                                 : std::string("baseline"))
+              .add("equivalent_to", out[f.index].equivalent_to)
+              .take());
+    }
+  }
+  if (trace::active()) {
+    std::lock_guard<std::mutex> lock(prune_mutex_);
+    trace::counters().prune_table_entries.store(prune_table_.size(),
+                                                std::memory_order_relaxed);
+  }
+}
+
+std::optional<Digest128> BranchExecutor::fingerprint_branch(
+    const runtime::DecodedSnapshot& snap, const InjectionPoint& ip,
+    const proxy::MaliciousAction* action, int windows) const {
+  try {
+    ScenarioWorld w = make_scenario_world(sc_);
+    w.testbed->emulator().set_event_budget(sc_.fault.max_branch_events);
+    w.testbed->load_snapshot(snap);
+    if (action != nullptr) w.proxy->arm(*action);
+    const Time t_s = ip.time + sc_.prune.settle;
+    const Time horizon = ip.time + static_cast<Duration>(windows) * sc_.window;
+    w.testbed->run_until(t_s);
+
+    Hasher128 h;
+    h.update("turret-prune-v1");
+    h.update_i64(windows);
+    h.update_i64(sc_.window);
+    h.update_digest(w.testbed->fleet_fingerprint(ip.time, horizon));
+    w.proxy->residual_fingerprint(h, horizon - t_s);
+    if (trace::active()) {
+      trace::Counters& c = trace::counters();
+      c.fingerprints.fetch_add(1, std::memory_order_relaxed);
+      c.prune_settle_ns.fetch_add(
+          static_cast<std::uint64_t>(sc_.prune.settle),
+          std::memory_order_relaxed);
+    }
+    return h.digest();
+  } catch (...) {
+    // A failing settle run is deterministic; the branch simply executes live
+    // (and quarantines there if the failure persists).
+    return std::nullopt;
+  }
+}
+
+bool BranchExecutor::claim_prune_entry(const Digest128& digest,
+                                       const std::string& key) {
+  std::lock_guard<std::mutex> lock(prune_mutex_);
+  auto [it, inserted] = prune_table_.try_emplace(digest);
+  if (inserted) it->second.canonical_key = key;
+  return inserted;
+}
+
+void BranchExecutor::record_prune_result(const Digest128& digest,
+                                         const BranchResult& r) {
+  std::lock_guard<std::mutex> lock(prune_mutex_);
+  auto it = prune_table_.find(digest);
+  if (it == prune_table_.end() || it->second.completed) return;
+  PruneEntry& e = it->second;
+  if (r.outcome) {
+    BranchOutcome o;  // provenance deliberately not retained in the table
+    o.windows = r.outcome->windows;
+    o.new_crashes = r.outcome->new_crashes;
+    e.result.outcome = std::move(o);
+  }
+  e.result.attempts = r.attempts;
+  e.result.error = r.error;
+  e.completed = true;
+}
+
+const BranchExecutor::PruneEntry* BranchExecutor::find_prune_entry(
+    const Digest128& digest) {
+  std::lock_guard<std::mutex> lock(prune_mutex_);
+  auto it = prune_table_.find(digest);
+  if (it == prune_table_.end() || !it->second.completed) return nullptr;
+  // std::map nodes are address-stable across inserts; claims and lookups all
+  // happen on the merge path, so the entry outlives the caller's use.
+  return &it->second;
+}
+
+void BranchExecutor::seed_prune_entry(const std::string& key,
+                                      const BranchResult& r) {
+  TURRET_CHECK(r.fingerprint.has_value());
+  std::lock_guard<std::mutex> lock(prune_mutex_);
+  auto [it, inserted] = prune_table_.try_emplace(*r.fingerprint);
+  if (!inserted) return;
+  PruneEntry& e = it->second;
+  e.canonical_key = key;
+  if (r.outcome) {
+    BranchOutcome o;
+    o.windows = r.outcome->windows;
+    o.new_crashes = r.outcome->new_crashes;
+    e.result.outcome = std::move(o);
+  }
+  e.result.attempts = r.attempts;
+  e.result.error = r.error;
+  e.completed = true;
+}
+
+void BranchExecutor::evict_unreferenced_pages() {
+  const std::shared_ptr<vm::PageStore>& store = sc_.testbed.snapshot.store;
+  if (store == nullptr) return;
+  const std::size_t evicted = store->evict_unreferenced();
+  if (trace::active()) {
+    trace::Counters& c = trace::counters();
+    const vm::PageStoreStats s = store->stats();
+    c.pagestore_evicted.fetch_add(evicted, std::memory_order_relaxed);
+    c.pagestore_pages.store(s.stored_pages, std::memory_order_relaxed);
+    c.pagestore_bytes.store(s.stored_bytes(), std::memory_order_relaxed);
+  }
 }
 
 BranchExecutor::BranchResult BranchExecutor::try_run_branch(
@@ -544,6 +831,7 @@ BranchExecutor::try_continue_branch(const InjectionPoint& ip,
         n.message_name = ip.message_name;
         n.time = w.testbed->now();
         n.snapshot = std::make_shared<const Bytes>(w.testbed->save_snapshot());
+        n.pages = w.testbed->last_save_pages();
         next = std::move(n);
         break;
       } catch (const netem::BudgetExceededError& e) {

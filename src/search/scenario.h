@@ -49,6 +49,23 @@ struct FaultTolerance {
   std::uint64_t max_branch_events = 100'000'000;
 };
 
+/// Branch-equivalence pruning (DESIGN.md §5f). When enabled, every branch
+/// runs only to `settle` past its injection, fingerprints the fleet state,
+/// and consults a first-writer-wins prune table: a branch whose fingerprint
+/// matches an already-claimed one inherits the canonical branch's outcome
+/// instead of executing its observation windows. Pruning is a wall-clock
+/// optimization only — virtual SearchCost charges are identical with it on
+/// or off, so SearchResult (including found_after) stays byte-identical.
+struct PruneOptions {
+  bool enabled = false;
+  /// How far past the injection a branch runs before fingerprinting. Must
+  /// exceed the proxy's hold delay (1 µs) so the armed action has been
+  /// applied to the injection message; large enough to let immediate
+  /// consequences (deliveries, handler completions) land, small relative to
+  /// the window so pruned branches skip almost all of the execution.
+  Duration settle = 1 * kMillisecond;
+};
+
 struct Scenario {
   std::string system_name;
 
@@ -76,6 +93,7 @@ struct Scenario {
   proxy::ActionConfig actions;
   BranchCostModel branch_cost;
   FaultTolerance fault;
+  PruneOptions prune;
 };
 
 }  // namespace turret::search

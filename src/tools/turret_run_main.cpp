@@ -61,6 +61,12 @@ void usage() {
                "                        blobs) | cow (content-addressed page\n"
                "                        store; branches share pages\n"
                "                        copy-on-write)\n"
+               "  --prune <on|off>      branch-equivalence pruning (default\n"
+               "                        off): branches whose settled fleet-\n"
+               "                        state fingerprints match skip guest\n"
+               "                        execution and inherit the canonical\n"
+               "                        branch's outcome; results are byte-\n"
+               "                        identical either way\n"
                "  --journal <path>      write-ahead journal of branch outcomes\n"
                "  --resume              replay completed branches from the\n"
                "                        journal instead of re-executing them\n"
@@ -105,6 +111,7 @@ struct Options {
   std::string trace_path;
   turret::trace::Clock trace_clock = turret::trace::Clock::kVirtual;
   turret::vm::SnapshotMode snapshot_mode = turret::vm::SnapshotMode::kPlain;
+  bool prune = false;
 };
 
 search::Scenario build_scenario(const Options& o) {
@@ -154,6 +161,7 @@ search::Scenario build_scenario(const Options& o) {
     // One store for every world the search will create (DESIGN.md §5e).
     sc.testbed.snapshot.store = std::make_shared<turret::vm::PageStore>();
   }
+  sc.prune.enabled = o.prune;
   return sc;
 }
 
@@ -225,6 +233,16 @@ int main(int argc, char** argv) {
         return 2;
       }
       o.snapshot_mode = *m;
+    } else if (arg == "--prune") {
+      const std::string v = next();
+      if (v == "on") {
+        o.prune = true;
+      } else if (v == "off") {
+        o.prune = false;
+      } else {
+        std::fprintf(stderr, "turret-run: --prune wants 'on' or 'off'\n");
+        return 2;
+      }
     } else if (arg == "--capture") {
       o.capture_dir = next();
     } else if (arg == "--report") {
